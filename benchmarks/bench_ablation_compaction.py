@@ -1,0 +1,25 @@
+"""Ablation B — compaction pipeline variants (Section 4).
+
+The paper applies restoration [23] *then* omission [22].  This ablation
+measures each alone against the combination: the combination must never
+be worse than restoration alone, and both single procedures must never
+lengthen the sequence."""
+
+from repro.experiments.ablations import ablate_compaction, render_compaction
+
+from conftest import emit
+
+
+def bench_ablation_compaction_order(benchmark, report_dir, profile):
+    rows = benchmark.pedantic(
+        ablate_compaction, args=(profile,), rounds=1, iterations=1
+    )
+    emit(report_dir, "ablation_compaction", render_compaction(rows))
+
+    for row in rows:
+        assert row.restoration_only <= row.raw
+        assert row.omission_only <= row.raw
+        assert row.both <= row.restoration_only
+    # The combination should strictly improve on restoration alone
+    # somewhere in the suite (that is why the paper runs both).
+    assert any(row.both < row.restoration_only for row in rows)

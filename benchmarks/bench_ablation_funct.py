@@ -1,0 +1,24 @@
+"""Ablation A — functional scan knowledge on/off (Section 2).
+
+Disabling the completion hook removes the paper's enhancement and leaves
+the bare non-scan generator running on ``C_scan``.  Detected-fault counts
+must never improve without the knowledge, and on circuits where the
+``funct`` column is nonzero the gap should show."""
+
+from repro.experiments.ablations import ablate_scan_knowledge, render_scan_knowledge
+
+from conftest import emit
+
+
+def bench_ablation_scan_knowledge(benchmark, report_dir, profile):
+    rows = benchmark.pedantic(
+        ablate_scan_knowledge, args=(profile,), rounds=1, iterations=1
+    )
+    emit(report_dir, "ablation_funct", render_scan_knowledge(rows))
+
+    for row in rows:
+        assert row.detected_without <= row.detected_with
+    total_lost = sum(row.lost for row in rows)
+    total_funct = sum(row.funct for row in rows)
+    assert total_funct > 0, "suite should exercise the funct path"
+    assert total_lost >= 0

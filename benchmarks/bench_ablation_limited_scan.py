@@ -1,0 +1,26 @@
+"""Ablation C — limited vs complete scan operations.
+
+The same coverage delivered two ways: the conventional baseline (every
+scan operation complete, cycle count ``sum(N_SV + |T_i|) + N_SV``) versus
+the compacted ``C_scan`` sequence where scan runs may be any length.
+This is the crux of the paper; the win ratio is its bottom line."""
+
+from repro.experiments.ablations import ablate_limited_scan, render_limited_scan
+
+from conftest import emit
+
+
+def bench_ablation_limited_scan(benchmark, report_dir, profile):
+    rows = benchmark.pedantic(
+        ablate_limited_scan, args=(profile,), rounds=1, iterations=1
+    )
+    emit(report_dir, "ablation_limited_scan", render_limited_scan(rows))
+
+    total_complete = sum(r.complete_scan_cycles for r in rows)
+    total_limited = sum(r.limited_scan_cycles for r in rows)
+    assert total_limited < total_complete
+    # Limited scan runs must actually occur in the winning sequences.
+    assert any(
+        any(run < row.state_vars for run in row.limited_runs)
+        for row in rows
+    )

@@ -1,0 +1,27 @@
+"""Ablation D — restoration variants.
+
+Plain vector restoration [23] vs overlapped restoration with segment
+pruning [24] vs state-repetition subsequence removal followed by
+omission.  Pruning usually wins but is greedy (a pruned span changes
+later faults' restoration needs), so the check is on suite totals, not
+per circuit."""
+
+from repro.experiments.ablations import (
+    ablate_restoration_variants,
+    render_restoration_variants,
+)
+
+from conftest import emit
+
+
+def bench_ablation_restoration_variants(benchmark, report_dir, profile):
+    rows = benchmark.pedantic(
+        ablate_restoration_variants, args=(profile,), rounds=1, iterations=1
+    )
+    emit(report_dir, "ablation_restoration", render_restoration_variants(rows))
+
+    for row in rows:
+        assert row.plain <= row.raw
+        assert row.overlapped <= row.raw
+        assert row.loops_then_omit <= row.raw
+    assert sum(r.overlapped for r in rows) <= sum(r.plain for r in rows) * 1.05

@@ -1,0 +1,78 @@
+"""Throughput of the simulation substrate (the reproduction's hot path).
+
+Not a paper table — this bench justifies DESIGN.md substitution 4: the
+packed simulator's per-vector cost grows with faults/64 words per gate,
+so thousands of fault machines ride one pass.  Timed properly via
+pytest-benchmark (multiple rounds) on three circuit scales plus the
+scalar reference simulator and a PODEM run for contrast."""
+
+import pytest
+
+from repro.atpg import Podem, comb_view
+from repro.circuit import insert_scan, random_circuit, s27
+from repro.faults import collapse_faults
+from repro.sim import LogicSimulator, PackedFaultSimulator
+from tests.util import random_vectors
+
+SCALES = {
+    "s298-class": (3, 14, 90),
+    "s953-class": (16, 29, 300),
+    "s1423-class": (17, 74, 450),
+}
+
+
+def _build(name):
+    pis, ffs, gates = SCALES[name]
+    circuit = insert_scan(random_circuit(name, pis, ffs, gates, seed=5)).circuit
+    return circuit, collapse_faults(circuit)
+
+
+@pytest.mark.parametrize("scale", sorted(SCALES))
+def bench_packed_fault_sim(benchmark, scale):
+    circuit, faults = _build(scale)
+    sim = PackedFaultSimulator(circuit, faults)
+    vectors = random_vectors(circuit, 32, seed=1)
+
+    def run():
+        sim.reset()
+        for vector in vectors:
+            sim.step(vector)
+
+    benchmark(run)
+    benchmark.extra_info["faults"] = len(faults)
+    benchmark.extra_info["gates"] = circuit.num_gates
+
+
+def bench_scalar_logic_sim(benchmark):
+    circuit = insert_scan(random_circuit("scalar", 16, 29, 300, seed=5)).circuit
+    sim = LogicSimulator(circuit)
+    vectors = random_vectors(circuit, 32, seed=1)
+
+    def run():
+        sim.reset()
+        for vector in vectors:
+            sim.step(vector)
+
+    benchmark(run)
+
+
+def bench_podem_s27_scan(benchmark):
+    circuit = insert_scan(s27()).circuit
+    view = comb_view(circuit)
+    faults = [
+        f for f in collapse_faults(circuit)
+        if not (f.consumer is not None and f.consumer in circuit.flop_by_q)
+    ]
+
+    def run():
+        podem = Podem(view.circuit)
+        return sum(1 for f in faults if podem.run(f).found)
+
+    found = benchmark(run)
+    assert found == len(faults)
+
+
+def bench_fault_collapsing(benchmark):
+    circuit = insert_scan(random_circuit("coll", 16, 29, 300, seed=5)).circuit
+    result = benchmark(lambda: collapse_faults(circuit))
+    assert result

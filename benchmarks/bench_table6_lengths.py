@@ -1,0 +1,36 @@
+"""Table 6 — test length after generation and compaction vs the
+conventional complete-scan baseline.
+
+The paper's headline: after compaction the limited-scan sequences beat
+the best known complete-scan application times.  This bench regenerates
+the table and asserts that ordering on the stand-in suite:
+
+* ``omit <= restor <= test len`` per circuit (compaction is monotone),
+* the compacted total beats the baseline total,
+* most circuits win individually."""
+
+from repro.experiments import table6
+
+from conftest import emit
+
+
+def bench_table6_test_lengths(benchmark, report_dir, profile):
+    rows = benchmark.pedantic(
+        table6.collect, args=(profile,), rounds=1, iterations=1
+    )
+    emit(report_dir, "table6", table6.render(rows))
+
+    for row in rows:
+        assert row.omit_len[0] <= row.restor_len[0] <= row.test_len[0]
+        assert row.omit_len[1] <= row.omit_len[0]
+
+    compacted_total = sum(r.omit_len[0] for r in rows)
+    baseline_total = sum(r.baseline_cycles for r in rows)
+    assert compacted_total < baseline_total, (
+        f"limited scan must win in total: {compacted_total} vs "
+        f"{baseline_total}"
+    )
+    wins = sum(1 for r in rows if r.improvement > 1.0)
+    assert wins >= (2 * len(rows)) // 3, (
+        f"limited scan should win on most circuits ({wins}/{len(rows)})"
+    )

@@ -1,0 +1,6 @@
+"""Shim so `pip install -e .` / `setup.py develop` work in offline
+environments that lack the `wheel` package (PEP 660 editable installs
+need it; the legacy develop path does not)."""
+from setuptools import setup
+
+setup()

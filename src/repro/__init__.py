@@ -1,0 +1,124 @@
+"""repro — reproduction of Pomeranz & Reddy, "A New Approach to Test
+Generation and Test Compaction for Scan Circuits" (DATE 2003).
+
+The package treats a scan circuit's ``scan_sel``/``scan_inp``/``scan_out``
+lines as conventional primary inputs/outputs, so test generation and
+static compaction procedures for *non-scan* sequential circuits apply
+directly — which makes limited scan operations fall out for free and
+yields very short test application times.
+
+Quick start::
+
+    from repro import s27, generation_flow
+
+    flow = generation_flow(s27(), seed=1)
+    print(flow.omitted.sequence.to_table())
+    print(flow.omitted_stats())          # cycles (total/scan)
+    print(f"coverage {flow.fault_coverage:.2f}%")
+
+Layering (see DESIGN.md):
+
+* :mod:`repro.circuit` — netlist model, ``.bench`` I/O, scan insertion,
+  benchmark library, synthetic generator;
+* :mod:`repro.faults` — stuck-at model + equivalence collapsing;
+* :mod:`repro.sim` — scalar logic simulation and the bit-parallel
+  sequential fault simulator;
+* :mod:`repro.atpg` — PODEM, combinational view, simulation-based
+  sequential ATPG, and the two conventional scan approaches;
+* :mod:`repro.core` — the paper: scan-aware generation (Section 2),
+  test set translation (Section 3), pipelines (Sections 4-5);
+* :mod:`repro.compaction` — vector restoration [23] / omission [22];
+* :mod:`repro.experiments` — the Table 5/6/7 suite and ablations.
+"""
+
+from .circuit import (
+    Circuit,
+    CircuitError,
+    FlipFlop,
+    Gate,
+    ScanChain,
+    ScanCircuit,
+    insert_scan,
+    load_bench,
+    parse_bench,
+    random_circuit,
+    s27,
+    save_bench,
+    write_bench,
+)
+from .faults import (
+    Fault,
+    TransitionFault,
+    collapse_faults,
+    dominance_reduce,
+    enumerate_faults,
+    enumerate_transition_faults,
+)
+from .sim import (
+    FaultSimResult,
+    LogicSimulator,
+    PackedFaultSimulator,
+    PackedPatternSimulator,
+    PackedTransitionSimulator,
+)
+from .atpg import (
+    CombScanATPG,
+    Podem,
+    PodemResult,
+    SecondApproachATPG,
+    SecondApproachConfig,
+    SeqATPGConfig,
+    SequentialATPG,
+    TimeFrameATPG,
+    comb_view,
+    unroll,
+)
+from .core import (
+    ScanATPGResult,
+    ScanAwareATPG,
+    ScanTest,
+    ScanTestSet,
+    TestSequence,
+    generation_flow,
+    translate_test_set,
+    translation_flow,
+)
+from .compaction import (
+    CompactionOracle,
+    omission_compact,
+    overlapped_restoration_compact,
+    restoration_compact,
+    reverse_order_compact,
+    subsequence_removal_compact,
+)
+from .analysis import analyze, compute_testability
+
+__version__ = "1.0.0"
+
+__all__ = [
+    # circuit
+    "Circuit", "CircuitError", "Gate", "FlipFlop", "ScanChain", "ScanCircuit",
+    "insert_scan", "parse_bench", "load_bench", "write_bench", "save_bench",
+    "random_circuit", "s27",
+    # faults
+    "Fault", "enumerate_faults", "collapse_faults",
+    # sim
+    "LogicSimulator", "PackedFaultSimulator", "FaultSimResult",
+    "PackedPatternSimulator", "PackedTransitionSimulator",
+    # atpg
+    "Podem", "PodemResult", "comb_view", "SequentialATPG", "SeqATPGConfig",
+    "CombScanATPG", "SecondApproachATPG", "SecondApproachConfig",
+    # core
+    "TestSequence", "ScanTest", "ScanTestSet", "ScanAwareATPG",
+    "ScanATPGResult", "translate_test_set", "generation_flow",
+    "translation_flow",
+    # compaction
+    "CompactionOracle", "restoration_compact", "omission_compact",
+    "reverse_order_compact", "overlapped_restoration_compact",
+    "subsequence_removal_compact",
+    # extensions
+    "dominance_reduce", "TimeFrameATPG", "unroll",
+    "analyze", "compute_testability",
+    "TransitionFault", "enumerate_transition_faults",
+    "__version__",
+]

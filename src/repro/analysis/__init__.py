@@ -1,0 +1,35 @@
+"""Circuit analysis: SCOAP testability measures and structural metrics
+(logic depth, sequential depth, cones)."""
+
+from .random_testability import (
+    RandomTestabilityProfile,
+    random_testability,
+    suggest_preamble_length,
+)
+from .scoap import INFINITY, Testability, compute_testability, hardest_nets
+from .structure import (
+    StructureReport,
+    analyze,
+    combinational_depth,
+    input_cone_sizes,
+    logic_levels,
+    sequential_depth,
+    state_dependency_graph,
+)
+
+__all__ = [
+    "Testability",
+    "compute_testability",
+    "hardest_nets",
+    "INFINITY",
+    "analyze",
+    "StructureReport",
+    "logic_levels",
+    "combinational_depth",
+    "sequential_depth",
+    "state_dependency_graph",
+    "input_cone_sizes",
+    "random_testability",
+    "RandomTestabilityProfile",
+    "suggest_preamble_length",
+]

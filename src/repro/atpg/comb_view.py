@@ -1,0 +1,98 @@
+"""Combinational view of a sequential circuit.
+
+The *first approach* to scan test generation (Section 1 of the paper,
+refs [1]-[5]) treats present-state variables as primary inputs and
+next-state variables as primary outputs, then runs combinational ATPG.
+This module performs exactly that rewriting: given a sequential
+:class:`~repro.circuit.netlist.Circuit`, it produces a combinational
+circuit in which
+
+* every flip-flop output net ``q`` becomes a *pseudo primary input*, and
+* every flip-flop data net ``d`` becomes a *pseudo primary output*,
+
+with all net names preserved.  Preserving names means stem faults of the
+sequential circuit are directly injectable in the view, and a PODEM test
+cube over the view splits cleanly into a scan-in state ``SI`` (the pseudo
+inputs) and a primary input vector ``t_I``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from ..circuit.netlist import Circuit
+
+
+@dataclass(frozen=True)
+class CombView:
+    """A combinational rewriting of a sequential circuit.
+
+    Attributes
+    ----------
+    circuit:
+        The combinational circuit (no flip-flops).
+    sequential:
+        The circuit this view was derived from.
+    pseudo_inputs:
+        Flip-flop ``q`` nets, in flip-flop order — the state part of any
+        test cube, i.e. the scan-in vector ``SI``.
+    real_inputs:
+        The original primary inputs.
+    pseudo_output_of:
+        Maps each flip-flop ``q`` net to its ``d`` net (the pseudo output
+        through which a fault effect would be captured into that
+        flip-flop).
+    """
+
+    circuit: Circuit
+    sequential: Circuit
+    pseudo_inputs: Tuple[str, ...]
+    real_inputs: Tuple[str, ...]
+    pseudo_output_of: Dict[str, str]
+
+    def split_assignment(self, assignment: Dict[str, int], fill: int):
+        """Split a PODEM cube into ``(SI, t_I)`` value tuples.
+
+        Unassigned positions take ``fill`` (callers typically pass X and
+        randomize later, as the paper does).
+        """
+        state = tuple(assignment.get(q, fill) for q in self.pseudo_inputs)
+        vector = tuple(assignment.get(pi, fill) for pi in self.real_inputs)
+        return state, vector
+
+    def capturing_flops(self, detecting_outputs) -> List[str]:
+        """Flip-flops whose ``d`` net is among ``detecting_outputs`` —
+        i.e. where a combinationally-propagated fault effect would be
+        latched, ready for scan-out observation."""
+        nets = set(detecting_outputs)
+        return [q for q, d in self.pseudo_output_of.items() if d in nets]
+
+
+def comb_view(circuit: Circuit) -> CombView:
+    """Build the combinational view of ``circuit``.
+
+    Raises ``ValueError`` for a circuit without flip-flops (it already is
+    combinational; use it directly).
+    """
+    if circuit.num_state_vars == 0:
+        raise ValueError(f"{circuit.name} is already combinational")
+    pseudo_inputs = tuple(f.q for f in circuit.flops)
+    outputs = list(circuit.outputs)
+    for flop in circuit.flops:
+        if flop.d not in outputs:
+            outputs.append(flop.d)
+    view = Circuit(
+        name=f"{circuit.name}_comb",
+        inputs=list(circuit.inputs) + list(pseudo_inputs),
+        outputs=outputs,
+        gates=circuit.gates,
+        flops=(),
+    )
+    return CombView(
+        circuit=view,
+        sequential=circuit,
+        pseudo_inputs=pseudo_inputs,
+        real_inputs=circuit.inputs,
+        pseudo_output_of={f.q: f.d for f in circuit.flops},
+    )

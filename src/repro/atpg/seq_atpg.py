@@ -1,0 +1,349 @@
+"""Simulation-based test generation for non-scan sequential circuits.
+
+This is the "test generation procedure for non-scan circuits" the paper
+builds on (Section 2): it "constructs a test sequence T by concatenating
+test subsequences for yet-undetected target faults", processing time
+units *forward only* — the style of the authors' own simulation-based
+generators (ref [9] and [21]).
+
+For each target fault the engine runs a greedy beam search: from the
+current circuit state it tries a batch of candidate input vectors,
+simulates the good machine and the single faulty machine one step, and
+keeps the vector that makes the most progress (detection >> fault effects
+latched in flip-flops >> fault activated).  A subsequence that detects
+the fault is appended to the global sequence; all remaining faults are
+then fault-simulated over the new suffix and dropped on detection.
+
+The engine knows nothing about scan.  The paper's functional-level scan
+knowledge is injected through the ``completion_hook`` callback: when the
+search fails but fault effects were seen in flip-flops, the hook may
+return extra vectors that finish the job (see
+:mod:`repro.core.scan_aware`, which implements the paper's
+scan-out/scan-in completions).  This mirrors the paper's structure — a
+conventional procedure, "enhanced by functional-level knowledge that the
+circuit has scan".
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..circuit.gates import ONE, X, ZERO
+from ..circuit.netlist import Circuit
+from ..faults.model import Fault
+from ..sim.fault_sim import PackedFaultSimulator
+from ..testseq.sequences import TestSequence
+
+
+@dataclass
+class SeqATPGConfig:
+    """Tuning knobs for :class:`SequentialATPG`.
+
+    Defaults suit the small/medium circuits of the experiment suite; the
+    large-circuit presets in :mod:`repro.experiments.suite` lower the
+    search effort to keep wall-clock reasonable.
+    """
+
+    seed: int = 0
+    #: Length of the random preamble appended before targeted search; a
+    #: cheap way to detect the easy faults (phase 0 of most simulation-
+    #: based generators).
+    initial_random_vectors: int = 64
+    #: Candidate vectors tried per time step of the per-fault search.
+    candidates_per_step: int = 8
+    #: Maximum subsequence length explored per fault per restart.
+    max_subseq_len: int = 48
+    #: Independent restarts of the per-fault search.
+    restarts: int = 2
+    #: Abandon a search after this many steps with no score improvement.
+    max_stale_steps: int = 8
+    #: Rebuild (repack) the global fault simulator once detected faults
+    #: outnumber undetected by this factor, to shrink the packed words.
+    repack_factor: float = 1.0
+    #: Probability that a candidate vector mutates the previous vector
+    #: instead of being drawn fresh (temporal locality helps sequential
+    #: justification).
+    mutate_probability: float = 0.5
+
+
+@dataclass
+class PropagationTrace:
+    """What a failed search learned: the prefix that drove fault effects
+    into flip-flops, and which flip-flops held effects at its end.
+
+    ``prefix`` are the input vectors applied from the search start state;
+    ``flops`` are ``q`` net names holding an effect after ``prefix``.
+    ``start_states`` are the (good, faulty) scalar states the search
+    started from, so a completion hook can replay and verify.
+    """
+
+    fault: Fault
+    prefix: List[Tuple[int, ...]]
+    flops: List[str]
+    start_states: Tuple[Tuple[int, ...], Tuple[int, ...]]
+
+
+#: A completion hook receives the trace of a failed search plus the
+#: single-fault simulator (already holding the search start state is NOT
+#: guaranteed; hooks must reload from ``trace.start_states``) and returns
+#: a full detecting subsequence, or None.
+CompletionHook = Callable[[PropagationTrace, PackedFaultSimulator], Optional[List[Tuple[int, ...]]]]
+
+
+@dataclass
+class SeqATPGResult:
+    """Everything Table 5/6 needs from one generation run."""
+
+    sequence: TestSequence
+    detection_time: Dict[Fault, int] = field(default_factory=dict)
+    aborted: List[Fault] = field(default_factory=list)
+    hook_detected: List[Fault] = field(default_factory=list)
+
+    @property
+    def detected_count(self) -> int:
+        return len(self.detection_time)
+
+    def coverage(self) -> float:
+        """Detected / (detected + aborted), in percent."""
+        total = self.detected_count + len(self.aborted)
+        if total == 0:
+            return 100.0
+        return 100.0 * self.detected_count / total
+
+
+class SequentialATPG:
+    """Forward-time, simulation-based sequential ATPG (see module docs)."""
+
+    def __init__(
+        self,
+        circuit: Circuit,
+        faults: Sequence[Fault],
+        config: Optional[SeqATPGConfig] = None,
+        completion_hook: Optional[CompletionHook] = None,
+        targets: Optional[Sequence[Fault]] = None,
+        simulator_factory=PackedFaultSimulator,
+    ):
+        self.circuit = circuit
+        self.faults = list(faults)
+        self.config = config or SeqATPGConfig()
+        self.completion_hook = completion_hook
+        #: Targeting order (defaults to ``faults``).  Every entry must be
+        #: in ``faults``; callers use this to front-load dominance-reduced
+        #: targets so dominated faults mostly fall to fault dropping.
+        self.targets = list(targets) if targets is not None else list(self.faults)
+        unknown = set(self.targets) - set(self.faults)
+        if unknown:
+            raise ValueError(f"targets outside the fault universe: "
+                             f"{sorted(map(str, unknown))[:4]}")
+        #: Builds packed simulators; swap in PackedTransitionSimulator to
+        #: generate for the transition (at-speed) fault model.
+        self.simulator_factory = simulator_factory
+        self._rng = random.Random(self.config.seed)
+        self._num_inputs = circuit.num_inputs
+
+    # -- public entry ---------------------------------------------------------
+
+    def generate(self) -> SeqATPGResult:
+        """Generate one test sequence covering as many faults as possible."""
+        config = self.config
+        sequence: List[Tuple[int, ...]] = []
+        result = SeqATPGResult(
+            sequence=TestSequence.for_circuit(self.circuit, []),
+        )
+        sim = self.simulator_factory(self.circuit, self.faults)
+        sim.reset()
+
+        if config.initial_random_vectors:
+            preamble = [self._random_vector() for _ in range(config.initial_random_vectors)]
+            self._apply_suffix(sim, preamble, sequence, result)
+
+        undetected = [f for f in self.targets if f not in result.detection_time]
+        for fault in undetected:
+            if fault in result.detection_time:
+                continue
+            subsequence, via_hook = self._target(fault, sim)
+            if subsequence is None:
+                result.aborted.append(fault)
+                continue
+            self._apply_suffix(sim, subsequence, sequence, result)
+            if fault not in result.detection_time:
+                # Verified during search/hook but not confirmed globally —
+                # treat as aborted rather than claim a phantom detection.
+                result.aborted.append(fault)
+                continue
+            if via_hook:
+                result.hook_detected.append(fault)
+            sim = self._maybe_repack(sim, sequence, result)
+
+        targeted = set(self.targets)
+        for fault in self.faults:
+            if fault not in result.detection_time and fault not in targeted \
+                    and fault not in result.aborted:
+                result.aborted.append(fault)
+        # A fault aborted early may still fall to fault dropping while a
+        # later target's subsequence is applied; keep the partitions
+        # (detected / aborted) disjoint.
+        result.aborted = [
+            f for f in result.aborted if f not in result.detection_time
+        ]
+        result.sequence = TestSequence.for_circuit(self.circuit, sequence)
+        return result
+
+    # -- global bookkeeping -------------------------------------------------------
+
+    def _apply_suffix(self, sim, suffix, sequence, result) -> None:
+        """Append ``suffix`` to the global sequence, simulating it on the
+        global fault simulator and recording first detections."""
+        base_time = len(sequence)
+        for offset, vector in enumerate(suffix):
+            newly = sim.step(vector)
+            if newly:
+                for fault in sim.faults_from_mask(newly):
+                    result.detection_time.setdefault(fault, base_time + offset)
+            sequence.append(tuple(vector))
+
+    def _maybe_repack(self, sim, sequence, result):
+        """Shrink the packed simulator to undetected faults when worth it.
+
+        Repacking replays the whole sequence so every surviving fault
+        machine carries its correct sequential state; the replay also
+        cross-checks detections (a fault already detected stays detected).
+        """
+        undetected = [f for f in sim.faults if f not in result.detection_time]
+        if not undetected:
+            return sim
+        if len(sim.faults) < (1 + self.config.repack_factor) * len(undetected):
+            return sim
+        packed = self.simulator_factory(self.circuit, undetected)
+        packed.reset()
+        for t, vector in enumerate(sequence):
+            newly = packed.step(vector)
+            if newly:
+                for fault in packed.faults_from_mask(newly):
+                    result.detection_time.setdefault(fault, t)
+        return packed
+
+    # -- per-fault search ------------------------------------------------------------
+
+    def _target(self, fault: Fault, global_sim) -> Tuple[Optional[List[Tuple[int, ...]]], bool]:
+        """Search for a detecting subsequence for one fault.
+
+        Returns ``(vectors, via_hook)``; ``(None, False)`` when neither
+        the search nor the completion hook succeeded.
+        """
+        config = self.config
+        good_state = global_sim.machine_state(0)
+        fault_position = global_sim.faults.index(fault) + 1
+        fault_state = global_sim.machine_state(fault_position)
+        mini = self.simulator_factory(self.circuit, [fault])
+
+        best_trace: Optional[PropagationTrace] = None
+        for _restart in range(config.restarts):
+            found, trace = self._beam_search(fault, mini, good_state, fault_state)
+            if found is not None:
+                return found, False
+            if trace is not None and (
+                best_trace is None or len(trace.flops) > len(best_trace.flops)
+            ):
+                best_trace = trace
+
+        if self.completion_hook is not None:
+            if best_trace is None:
+                best_trace = PropagationTrace(
+                    fault=fault, prefix=[], flops=[],
+                    start_states=(good_state, fault_state),
+                )
+            completed = self.completion_hook(best_trace, mini)
+            if completed is not None:
+                return completed, True
+        return None, False
+
+    def _beam_search(self, fault, mini, good_state, fault_state):
+        """One greedy rollout; returns ``(vectors or None, trace or None)``."""
+        config = self.config
+        rng = self._rng
+        mini.reset()
+        mini.load_machine_states([good_state, fault_state])
+        chosen: List[Tuple[int, ...]] = []
+        best_score = -1
+        stale = 0
+        trace_flops: List[str] = []
+        trace_len = 0
+        previous = None
+        for _step in range(config.max_subseq_len):
+            snapshot = mini.save_state()
+            best = None
+            for _k in range(config.candidates_per_step):
+                candidate = self._candidate_vector(previous, rng)
+                mini.restore_state(snapshot)
+                detected = mini.step(candidate)
+                if detected:
+                    chosen.append(candidate)
+                    return chosen, None
+                score = self._score(fault, mini)
+                if best is None or score > best[0]:
+                    best = (score, candidate, mini.save_state())
+            score, candidate, state = best
+            mini.restore_state(state)
+            chosen.append(candidate)
+            previous = candidate
+            effects = self._flop_effects(mini)
+            if effects and len(effects) >= len(trace_flops):
+                trace_flops = effects
+                trace_len = len(chosen)
+            if score > best_score:
+                best_score = score
+                stale = 0
+            else:
+                stale += 1
+                if stale > config.max_stale_steps:
+                    break
+        trace = PropagationTrace(
+            fault=fault,
+            prefix=chosen[:trace_len],
+            flops=trace_flops,
+            start_states=(good_state, fault_state),
+        )
+        return None, trace
+
+    def _flop_effects(self, mini) -> List[str]:
+        """Flip-flop ``q`` nets where the (single) fault has an effect."""
+        masks = mini.ff_effect_masks()
+        return [
+            flop.q
+            for flop, mask in zip(self.circuit.flops, masks)
+            if mask & 2
+        ]
+
+    def _score(self, fault: Fault, mini) -> int:
+        """Search heuristic after one candidate step.
+
+        Detection dominates (handled by the caller); otherwise prefer
+        fault effects held in flip-flops (each is one scan-out away from
+        observation and may propagate further), then mere activation.
+        """
+        score = 0
+        masks = mini.ff_effect_masks()
+        score += 4 * sum(1 for m in masks if m & 2)
+        site = mini.good_net_value(fault.net)
+        if site != X and site != fault.stuck_at:
+            score += 1
+        return score
+
+    def _candidate_vector(self, previous, rng) -> Tuple[int, ...]:
+        """Fresh random vector, or a light mutation of the previous one."""
+        if previous is not None and rng.random() < self.config.mutate_probability:
+            flips = max(1, self._num_inputs // 4)
+            mutated = list(previous)
+            for _ in range(rng.randint(1, flips)):
+                pos = rng.randrange(self._num_inputs)
+                mutated[pos] ^= 1 if mutated[pos] in (ZERO, ONE) else 0
+                if mutated[pos] == X:
+                    mutated[pos] = rng.randint(0, 1)
+            return tuple(mutated)
+        return self._random_vector()
+
+    def _random_vector(self) -> Tuple[int, ...]:
+        return tuple(self._rng.randint(0, 1) for _ in range(self._num_inputs))

@@ -1,0 +1,243 @@
+"""Deterministic sequential ATPG by time-frame expansion.
+
+This is the classic HITEC-family formulation (the paper's refs
+[17]-[21]): unroll the sequential circuit into ``k`` combinational
+copies ("frames"), connect frame ``i``'s next-state nets to frame
+``i+1``'s present-state nets, and run combinational ATPG on the result.
+Three sequential realities are modelled faithfully:
+
+* the **initial state is unknown** — frame 0's present-state nets are
+  *frozen* primary inputs of the unrolled circuit (PODEM may never
+  assign them), so any cube found works from every power-up state;
+* the **fault is permanent** — it is injected at its site in *every*
+  frame simultaneously (PODEM's multi-site mode);
+* only real primary outputs observe — next-state nets of the final
+  frame are *not* outputs (no scan assumed here; this engine is for
+  non-scan circuits or as the deterministic core under the scan-aware
+  layer, which adds observation through the chain separately).
+
+``run`` iteratively deepens: 1 frame, 2 frames, ... up to
+``max_frames``.  A ``detected`` verdict yields one input vector per used
+frame (unassigned positions X).  ``untestable`` at depth ``k`` only
+proves there is no ``k``-frame test from an unknown initial state —
+deeper tests may exist, so the aggregate verdict after exhausting the
+frame budget is ``aborted`` unless every depth proved untestable *and*
+the circuit's sequential behaviour is bounded by the budget (which this
+engine does not try to establish; it reports honestly).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..circuit.netlist import Circuit, Gate
+from ..faults.model import BRANCH, STEM, Fault, branch_fault, stem_fault
+from ..circuit.gates import X
+from .podem import ABORTED, DETECTED, UNTESTABLE, Podem
+
+
+def frame_net(frame: int, net: str) -> str:
+    """Name of ``net``'s copy in frame ``frame`` of the unrolled circuit."""
+    return f"tf{frame}.{net}"
+
+
+@dataclass(frozen=True)
+class Unrolling:
+    """A ``k``-frame combinational expansion of a sequential circuit."""
+
+    circuit: Circuit          # the combinational unrolled circuit
+    sequential: Circuit
+    frames: int
+    frozen_inputs: Tuple[str, ...]   # frame-0 state nets
+
+    def frame_inputs(self, frame: int) -> List[str]:
+        """Unrolled names of the sequential PIs in one frame."""
+        return [frame_net(frame, n) for n in self.sequential.inputs]
+
+    def split_assignment(self, assignment: Dict[str, int]) -> List[Tuple[int, ...]]:
+        """Per-frame input vectors from a PODEM cube (missing -> X)."""
+        return [
+            tuple(
+                assignment.get(frame_net(k, net), X)
+                for net in self.sequential.inputs
+            )
+            for k in range(self.frames)
+        ]
+
+    def frame_of_output(self, unrolled_po: str) -> int:
+        """Which frame an unrolled primary output belongs to."""
+        prefix, _dot, _rest = unrolled_po.partition(".")
+        return int(prefix[2:])
+
+
+def unroll(circuit: Circuit, frames: int) -> Unrolling:
+    """Expand ``circuit`` into ``frames`` combinational time frames.
+
+    Frame 0's present-state nets become primary inputs (callers freeze
+    them for the unknown-initial-state model); frame ``i > 0``'s
+    present-state nets are BUF gates fed by frame ``i-1``'s next-state
+    nets.  Every frame's primary outputs are outputs of the expansion.
+    """
+    if frames < 1:
+        raise ValueError("need at least one time frame")
+    if circuit.num_state_vars == 0:
+        raise ValueError("time-frame expansion needs a sequential circuit")
+    inputs: List[str] = []
+    outputs: List[str] = []
+    gates: List[Gate] = []
+    frozen: List[str] = []
+    for k in range(frames):
+        inputs.extend(frame_net(k, n) for n in circuit.inputs)
+        outputs.extend(frame_net(k, n) for n in circuit.outputs)
+        for flop in circuit.flops:
+            q_net = frame_net(k, flop.q)
+            if k == 0:
+                inputs.append(q_net)
+                frozen.append(q_net)
+            else:
+                gates.append(Gate(q_net, "BUF",
+                                  (frame_net(k - 1, flop.d),)))
+        for gate in circuit.gates:
+            gates.append(Gate(
+                frame_net(k, gate.output),
+                gate.kind,
+                tuple(frame_net(k, n) for n in gate.inputs),
+            ))
+    unrolled = Circuit(
+        name=f"{circuit.name}_x{frames}",
+        inputs=inputs,
+        outputs=outputs,
+        gates=gates,
+        flops=(),
+    )
+    return Unrolling(
+        circuit=unrolled,
+        sequential=circuit,
+        frames=frames,
+        frozen_inputs=tuple(frozen),
+    )
+
+
+def replicate_fault(unrolling: Unrolling, fault: Fault) -> List[Fault]:
+    """The per-frame sites of one permanent fault in the expansion.
+
+    Flip-flop D-pin branch faults map to the BUF feeding the *next*
+    frame's state copy; in the final frame that sink does not exist (the
+    next state is unobservable), so the site list is one shorter there.
+    """
+    sites: List[Fault] = []
+    sequential = unrolling.sequential
+    for k in range(unrolling.frames):
+        if fault.kind == STEM:
+            sites.append(stem_fault(frame_net(k, fault.net), fault.stuck_at))
+        elif fault.consumer.startswith("PO:"):
+            po = fault.consumer[3:]
+            sites.append(branch_fault(
+                frame_net(k, fault.net), f"PO:{frame_net(k, po)}",
+                0, fault.stuck_at,
+            ))
+        elif fault.consumer in sequential.flop_by_q:
+            if k + 1 < unrolling.frames:
+                sites.append(branch_fault(
+                    frame_net(k, fault.net),
+                    frame_net(k + 1, fault.consumer),
+                    0, fault.stuck_at,
+                ))
+        else:
+            sites.append(branch_fault(
+                frame_net(k, fault.net),
+                frame_net(k, fault.consumer),
+                fault.pin, fault.stuck_at,
+            ))
+    if not sites:
+        raise ValueError(f"fault {fault} has no site in a "
+                         f"{unrolling.frames}-frame expansion")
+    return sites
+
+
+@dataclass
+class TimeFrameResult:
+    """Outcome of iterative-deepening time-frame ATPG for one fault."""
+
+    status: str
+    fault: Fault
+    #: One input vector per frame actually needed (X = unassigned);
+    #: empty unless detected.
+    vectors: List[Tuple[int, ...]] = field(default_factory=list)
+    frames_used: int = 0
+    frames_tried: int = 0
+    backtracks: int = 0
+    #: Depth-by-depth verdicts (frame count -> PODEM status).
+    depth_status: Dict[int, str] = field(default_factory=dict)
+
+    @property
+    def found(self) -> bool:
+        return self.status == DETECTED
+
+
+class TimeFrameATPG:
+    """Iterative-deepening deterministic sequential ATPG (see module docs).
+
+    Parameters
+    ----------
+    circuit:
+        The sequential circuit (non-scan semantics: final state is not
+        observed).
+    max_frames:
+        Deepest expansion tried.
+    backtrack_limit:
+        PODEM budget *per depth*.
+    """
+
+    def __init__(self, circuit: Circuit, max_frames: int = 8,
+                 backtrack_limit: int = 1000):
+        if circuit.num_state_vars == 0:
+            raise ValueError("time-frame ATPG needs a sequential circuit")
+        self.circuit = circuit
+        self.max_frames = max_frames
+        self.backtrack_limit = backtrack_limit
+        self._cache: Dict[int, Tuple[Unrolling, Podem]] = {}
+
+    def _engine(self, frames: int) -> Tuple[Unrolling, Podem]:
+        if frames not in self._cache:
+            unrolling = unroll(self.circuit, frames)
+            podem = Podem(
+                unrolling.circuit,
+                backtrack_limit=self.backtrack_limit,
+                frozen_inputs=unrolling.frozen_inputs,
+            )
+            self._cache[frames] = (unrolling, podem)
+        return self._cache[frames]
+
+    def run(self, fault: Fault) -> TimeFrameResult:
+        """Search depths 1..max_frames for a test for ``fault``."""
+        result = TimeFrameResult(status=ABORTED, fault=fault)
+        for frames in range(1, self.max_frames + 1):
+            unrolling, podem = self._engine(frames)
+            try:
+                sites = replicate_fault(unrolling, fault)
+            except ValueError:
+                # Only site is a final-frame D pin: undetectable at this
+                # depth, deeper frames give it room.
+                result.depth_status[frames] = UNTESTABLE
+                continue
+            verdict = podem.run_multi(sites)
+            result.depth_status[frames] = verdict.status
+            result.backtracks += verdict.backtracks
+            result.frames_tried = frames
+            if verdict.status == DETECTED:
+                vectors = unrolling.split_assignment(verdict.assignment)
+                used = 1 + max(
+                    unrolling.frame_of_output(po)
+                    for po in verdict.detecting_outputs
+                )
+                result.status = DETECTED
+                result.vectors = vectors[:used]
+                result.frames_used = used
+                return result
+        # No depth succeeded.  All-depths-untestable is still only a
+        # bounded proof; report it distinctly so callers can decide.
+        if all(v == UNTESTABLE for v in result.depth_status.values()):
+            result.status = UNTESTABLE
+        return result

@@ -1,0 +1,52 @@
+"""Circuit substrate: netlist model, ``.bench`` I/O, scan insertion,
+benchmark library and the synthetic circuit generator."""
+
+from .bench import load_bench, parse_bench, save_bench, write_bench
+from .gates import GATE_KINDS, ONE, X, ZERO, eval_gate, value_from_char, value_to_char
+from .library import c17, load, s27, toy_comb, toy_pipeline, toy_seq
+from .netlist import Circuit, CircuitError, FlipFlop, Gate
+from .scan import (
+    SCAN_INPUT,
+    SCAN_OUTPUT,
+    SCAN_SELECT,
+    ScanChain,
+    ScanCircuit,
+    insert_scan,
+)
+from .synth import random_circuit
+from .verilog import load_verilog, parse_verilog, save_verilog, write_verilog
+
+__all__ = [
+    "Circuit",
+    "CircuitError",
+    "FlipFlop",
+    "Gate",
+    "GATE_KINDS",
+    "ZERO",
+    "ONE",
+    "X",
+    "eval_gate",
+    "value_from_char",
+    "value_to_char",
+    "parse_bench",
+    "load_bench",
+    "write_bench",
+    "save_bench",
+    "load",
+    "s27",
+    "c17",
+    "toy_comb",
+    "toy_seq",
+    "toy_pipeline",
+    "ScanChain",
+    "ScanCircuit",
+    "insert_scan",
+    "SCAN_SELECT",
+    "SCAN_INPUT",
+    "SCAN_OUTPUT",
+    "random_circuit",
+    "parse_verilog",
+    "load_verilog",
+    "write_verilog",
+    "save_verilog",
+]

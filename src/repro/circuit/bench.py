@@ -1,0 +1,100 @@
+"""Reader and writer for the ISCAS-89 ``.bench`` netlist format.
+
+The ``.bench`` format is the lingua franca of the ATPG literature; all of
+the circuits the paper evaluates (ISCAS-89 ``s*``, ITC-99 ``b*``) are
+distributed in it.  A file is a sequence of lines::
+
+    # comment
+    INPUT(G0)
+    OUTPUT(G17)
+    G7 = DFF(G13)
+    G8 = AND(G14, G6)
+    G14 = NOT(G0)
+
+Gate kinds are case-insensitive; ``BUFF`` is accepted as an alias for
+``BUF``.  The writer emits a canonical form that the reader round-trips.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+from typing import List, Union
+
+from .netlist import Circuit, CircuitError, FlipFlop, Gate
+
+_ASSIGN_RE = re.compile(
+    r"^(?P<out>[^\s=]+)\s*=\s*(?P<kind>[A-Za-z]+)\s*\((?P<ins>[^)]*)\)$"
+)
+_IO_RE = re.compile(r"^(?P<dir>INPUT|OUTPUT)\s*\((?P<net>[^)]+)\)$", re.IGNORECASE)
+
+_KIND_ALIASES = {"BUFF": "BUF", "DFF": "DFF"}
+
+
+def parse_bench(text: str, name: str = "circuit") -> Circuit:
+    """Parse ``.bench`` source text into a :class:`Circuit`.
+
+    Raises :class:`CircuitError` on malformed lines or on any structural
+    problem found by circuit validation (multiple drivers, combinational
+    cycles, ...).
+    """
+    inputs: List[str] = []
+    outputs: List[str] = []
+    gates: List[Gate] = []
+    flops: List[FlipFlop] = []
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        io_match = _IO_RE.match(line)
+        if io_match:
+            net = io_match.group("net").strip()
+            if io_match.group("dir").upper() == "INPUT":
+                inputs.append(net)
+            else:
+                outputs.append(net)
+            continue
+        assign = _ASSIGN_RE.match(line)
+        if not assign:
+            raise CircuitError(f"{name}:{lineno}: cannot parse line: {raw!r}")
+        out = assign.group("out").strip()
+        kind = assign.group("kind").upper()
+        kind = _KIND_ALIASES.get(kind, kind)
+        operands = [tok.strip() for tok in assign.group("ins").split(",")]
+        operands = [tok for tok in operands if tok]
+        if kind == "DFF":
+            if len(operands) != 1:
+                raise CircuitError(
+                    f"{name}:{lineno}: DFF takes one input, got {len(operands)}"
+                )
+            flops.append(FlipFlop(q=out, d=operands[0]))
+        else:
+            try:
+                gates.append(Gate(output=out, kind=kind, inputs=tuple(operands)))
+            except ValueError as exc:
+                raise CircuitError(f"{name}:{lineno}: {exc}") from exc
+    return Circuit(name=name, inputs=inputs, outputs=outputs, gates=gates, flops=flops)
+
+
+def load_bench(path: Union[str, Path]) -> Circuit:
+    """Load a circuit from a ``.bench`` file; the stem becomes its name."""
+    path = Path(path)
+    return parse_bench(path.read_text(), name=path.stem)
+
+
+def write_bench(circuit: Circuit) -> str:
+    """Serialize a circuit to canonical ``.bench`` text."""
+    lines = [f"# {circuit.name}"]
+    lines.extend(f"INPUT({net})" for net in circuit.inputs)
+    lines.extend(f"OUTPUT({net})" for net in circuit.outputs)
+    lines.extend(f"{flop.q} = DFF({flop.d})" for flop in circuit.flops)
+    lines.extend(
+        f"{gate.output} = {gate.kind}({', '.join(gate.inputs)})"
+        for gate in circuit.gates
+    )
+    return "\n".join(lines) + "\n"
+
+
+def save_bench(circuit: Circuit, path: Union[str, Path]) -> None:
+    """Write a circuit to ``path`` in ``.bench`` format."""
+    Path(path).write_text(write_bench(circuit))

@@ -1,0 +1,247 @@
+"""Gate primitives for the gate-level netlist.
+
+The netlist model follows the ISCAS-89 ``.bench`` convention: a circuit is
+a set of named nets, each driven by a primary input, a combinational gate,
+or a D flip-flop.  This module defines the combinational gate kinds, their
+arity constraints, and their three-valued (0/1/X) evaluation semantics in
+both scalar form (one value per net, used by the reference logic
+simulator) and *packed* form (one arbitrary-precision integer pair per
+net, bit ``f`` belonging to fault machine ``f``, used by the bit-parallel
+fault simulator).
+
+Three-valued packed encoding
+----------------------------
+A packed value is a pair of Python ints ``(ones, zeros)``:
+
+* bit ``f`` set in ``ones``  -> machine ``f`` sees logic 1,
+* bit ``f`` set in ``zeros`` -> machine ``f`` sees logic 0,
+* bit ``f`` set in neither   -> machine ``f`` sees X (unknown).
+
+A bit must never be set in both planes; all evaluation functions preserve
+this invariant.  The encoding makes the common gates one or two bitwise
+operations wide regardless of how many fault machines are packed.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+# Scalar three-valued constants.  X is deliberately the last value so that
+# arrays indexed by value can use position 2 for the unknown case.
+ZERO = 0
+ONE = 1
+X = 2
+
+_CHAR_TO_VALUE = {"0": ZERO, "1": ONE, "x": X, "X": X, "-": X}
+_VALUE_TO_CHAR = {ZERO: "0", ONE: "1", X: "x"}
+
+#: Combinational gate kinds understood by the netlist and simulators.
+#: ``arity`` is (min_inputs, max_inputs); ``None`` means unbounded.
+GATE_ARITY: Dict[str, Tuple[int, object]] = {
+    "AND": (1, None),
+    "NAND": (1, None),
+    "OR": (1, None),
+    "NOR": (1, None),
+    "XOR": (2, None),
+    "XNOR": (2, None),
+    "NOT": (1, 1),
+    "BUF": (1, 1),
+    "MUX": (3, 3),  # inputs: (select, d0, d1); output = d1 if select else d0
+}
+
+GATE_KINDS = frozenset(GATE_ARITY)
+
+#: Controlling value per gate kind (value on any input that fixes the
+#: output), or ``None`` when the gate has no controlling value.  Used by
+#: the PODEM backtrace and by testability heuristics.
+CONTROLLING_VALUE: Dict[str, object] = {
+    "AND": ZERO,
+    "NAND": ZERO,
+    "OR": ONE,
+    "NOR": ONE,
+    "XOR": None,
+    "XNOR": None,
+    "NOT": None,
+    "BUF": None,
+    "MUX": None,
+}
+
+#: Whether the gate inverts: the output with all inputs non-controlling
+#: (or the single input, for NOT/BUF) is complemented.
+INVERTING: Dict[str, bool] = {
+    "AND": False,
+    "NAND": True,
+    "OR": False,
+    "NOR": True,
+    "XOR": False,
+    "XNOR": True,
+    "NOT": True,
+    "BUF": False,
+    "MUX": False,
+}
+
+
+def value_from_char(char: str) -> int:
+    """Map a vector character (``0 1 x X -``) to a scalar value."""
+    try:
+        return _CHAR_TO_VALUE[char]
+    except KeyError:
+        raise ValueError(f"not a logic value character: {char!r}") from None
+
+
+def value_to_char(value: int) -> str:
+    """Map a scalar value back to its canonical character."""
+    try:
+        return _VALUE_TO_CHAR[value]
+    except KeyError:
+        raise ValueError(f"not a logic value: {value!r}") from None
+
+
+def invert(value: int) -> int:
+    """Three-valued NOT."""
+    if value == X:
+        return X
+    return ONE - value
+
+
+def eval_gate(kind: str, values) -> int:
+    """Evaluate one gate in scalar three-valued logic.
+
+    ``values`` is the sequence of input values in pin order.  This is the
+    reference semantics; the packed evaluators below must agree with it
+    bit-for-bit (a property the test suite checks exhaustively).
+    """
+    if kind == "NOT":
+        return invert(values[0])
+    if kind == "BUF":
+        return values[0]
+    if kind == "MUX":
+        sel, d0, d1 = values
+        if sel == ZERO:
+            return d0
+        if sel == ONE:
+            return d1
+        # Unknown select: known output only if both data inputs agree.
+        if d0 == d1 and d0 != X:
+            return d0
+        return X
+    if kind in ("AND", "NAND"):
+        result = ONE
+        for v in values:
+            if v == ZERO:
+                result = ZERO
+                break
+            if v == X:
+                result = X
+        return invert(result) if kind == "NAND" else result
+    if kind in ("OR", "NOR"):
+        result = ZERO
+        for v in values:
+            if v == ONE:
+                result = ONE
+                break
+            if v == X:
+                result = X
+        return invert(result) if kind == "NOR" else result
+    if kind in ("XOR", "XNOR"):
+        result = ZERO
+        for v in values:
+            if v == X:
+                return X
+            result ^= v
+        return invert(result) if kind == "XNOR" else result
+    raise ValueError(f"unknown gate kind: {kind!r}")
+
+
+# ---------------------------------------------------------------------------
+# Packed (bit-parallel) evaluation.
+#
+# Each function takes/returns (ones, zeros) int pairs.  They are written as
+# fold loops so gates of any arity share one code path; two-input gates pay
+# a single iteration.
+# ---------------------------------------------------------------------------
+
+
+def packed_not(value):
+    """Packed three-valued NOT: swap the planes."""
+    ones, zeros = value
+    return zeros, ones
+
+
+def packed_and(values):
+    """Packed AND fold: 1 needs all ones, 0 needs any zero."""
+    ones = -1
+    zeros = 0
+    for v1, v0 in values:
+        ones &= v1
+        zeros |= v0
+    return ones & ~zeros, zeros
+
+
+def packed_or(values):
+    """Packed OR fold: 1 needs any one, 0 needs all zeros."""
+    ones = 0
+    zeros = -1
+    for v1, v0 in values:
+        ones |= v1
+        zeros &= v0
+    return ones, zeros & ~ones
+
+
+def packed_xor(values):
+    """Packed XOR fold; any X lane stays X."""
+    ones, zeros = values[0]
+    for b1, b0 in values[1:]:
+        ones, zeros = (ones & b0) | (zeros & b1), (ones & b1) | (zeros & b0)
+    return ones, zeros
+
+
+def packed_mux(values):
+    """Packed 2:1 MUX; unknown select resolves only when data agree."""
+    (s1, s0), (a1, a0), (b1, b0) = values
+    # Output is 1 when (sel=0 and d0=1) or (sel=1 and d1=1); with unknown
+    # select the output is known only when both data inputs agree.
+    ones = (s0 & a1) | (s1 & b1) | (a1 & b1)
+    zeros = (s0 & a0) | (s1 & b0) | (a0 & b0)
+    return ones, zeros
+
+
+def eval_gate_packed(kind: str, values):
+    """Evaluate one gate over packed three-valued planes.
+
+    Mirrors :func:`eval_gate` for every bit position.  ``values`` is the
+    sequence of packed ``(ones, zeros)`` pairs in pin order.
+    """
+    if kind == "NOT":
+        return packed_not(values[0])
+    if kind == "BUF":
+        return values[0]
+    if kind == "AND":
+        return packed_and(values)
+    if kind == "NAND":
+        return packed_not(packed_and(values))
+    if kind == "OR":
+        return packed_or(values)
+    if kind == "NOR":
+        return packed_not(packed_or(values))
+    if kind == "XOR":
+        return packed_xor(values)
+    if kind == "XNOR":
+        return packed_not(packed_xor(values))
+    if kind == "MUX":
+        return packed_mux(values)
+    raise ValueError(f"unknown gate kind: {kind!r}")
+
+
+def check_arity(kind: str, num_inputs: int) -> None:
+    """Raise ``ValueError`` when ``num_inputs`` is illegal for ``kind``."""
+    try:
+        low, high = GATE_ARITY[kind]
+    except KeyError:
+        raise ValueError(f"unknown gate kind: {kind!r}") from None
+    if num_inputs < low or (high is not None and num_inputs > high):
+        raise ValueError(
+            f"{kind} gate takes "
+            f"{'exactly ' + str(low) if high == low else 'at least ' + str(low)}"
+            f" input(s), got {num_inputs}"
+        )

@@ -1,0 +1,97 @@
+"""Built-in circuit library.
+
+Provides the circuits the examples, tests and experiment suite run on:
+
+* :func:`s27` — the exact published ISCAS-89 ``s27`` netlist (the circuit
+  used in the paper's Tables 1-4), loaded from the packaged ``.bench``
+  file;
+* :func:`load` — load any circuit packaged under ``repro/circuit/data``;
+* tiny hand-written teaching circuits used throughout the test suite.
+
+The larger ISCAS-89 / ITC-99 circuits of Tables 5-7 are *not* shipped
+(see DESIGN.md); :mod:`repro.experiments.suite` builds seeded synthetic
+stand-ins with matching scale via :mod:`repro.circuit.synth`.
+"""
+
+from __future__ import annotations
+
+from importlib import resources
+
+from .bench import parse_bench
+from .netlist import Circuit, FlipFlop, Gate
+
+
+def load(name: str) -> Circuit:
+    """Load a packaged benchmark circuit by name (e.g. ``"s27"``)."""
+    package = resources.files(__package__) / "data" / f"{name}.bench"
+    try:
+        text = package.read_text()
+    except FileNotFoundError:
+        raise KeyError(f"no packaged circuit named {name!r}") from None
+    return parse_bench(text, name=name)
+
+
+def s27() -> Circuit:
+    """The exact ISCAS-89 ``s27``: 4 PIs, 1 PO, 3 flip-flops, 10 gates."""
+    return load("s27")
+
+
+def c17() -> Circuit:
+    """The exact ISCAS-85 ``c17``: 5 PIs, 2 POs, 6 NAND gates
+    (combinational; the classic PODEM teaching circuit)."""
+    return load("c17")
+
+
+def toy_comb() -> Circuit:
+    """A 4-gate combinational circuit: c17-flavoured teaching example."""
+    return Circuit(
+        name="toy_comb",
+        inputs=["a", "b", "c", "d"],
+        outputs=["y", "z"],
+        gates=[
+            Gate("t1", "NAND", ("a", "b")),
+            Gate("t2", "NAND", ("b", "c")),
+            Gate("y", "NAND", ("t1", "t2")),
+            Gate("z", "NOR", ("t2", "d")),
+        ],
+    )
+
+
+def toy_seq() -> Circuit:
+    """A 2-flip-flop sequential circuit with feedback (mod-3-ish counter)."""
+    return Circuit(
+        name="toy_seq",
+        inputs=["en", "rst"],
+        outputs=["out"],
+        gates=[
+            Gate("nrst", "NOT", ("rst",)),
+            Gate("t0", "XOR", ("q0", "en")),
+            Gate("d0", "AND", ("t0", "nrst")),
+            Gate("carry", "AND", ("q0", "en")),
+            Gate("t1", "XOR", ("q1", "carry")),
+            Gate("d1", "AND", ("t1", "nrst")),
+            Gate("out", "AND", ("q1", "q0")),
+        ],
+        flops=[FlipFlop("q0", "d0"), FlipFlop("q1", "d1")],
+    )
+
+
+def toy_pipeline() -> Circuit:
+    """A feed-forward 3-stage shift pipeline (no feedback), handy for
+    checking fault-effect propagation through the state over time."""
+    return Circuit(
+        name="toy_pipeline",
+        inputs=["din", "ctl"],
+        outputs=["dout"],
+        gates=[
+            Gate("stage0", "AND", ("din", "ctl")),
+            Gate("stage1", "OR", ("p0", "ctl")),
+            Gate("stage2", "BUF", ("p1",)),
+            Gate("dout", "NOT", ("p2",)),
+        ],
+        flops=[
+            FlipFlop("p0", "stage0"),
+            FlipFlop("p1", "stage1"),
+            FlipFlop("p2", "stage2"),
+        ],
+    )

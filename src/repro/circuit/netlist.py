@@ -1,0 +1,258 @@
+"""Gate-level netlist model for synchronous sequential circuits.
+
+A :class:`Circuit` is the static description shared by every tool in this
+package: simulators, ATPG engines, scan insertion and the fault model all
+consume it.  The model matches the ISCAS-89 ``.bench`` view of a circuit:
+
+* a set of *nets* identified by name,
+* *primary inputs* (PIs) drive nets from outside,
+* *gates* (combinational, see :mod:`repro.circuit.gates`) each drive one net,
+* *D flip-flops* drive their output net ``q`` with the previous-cycle
+  value of their data net ``d`` (single clock, implicit),
+* *primary outputs* (POs) name observed nets.
+
+Circuits are immutable after construction; transformations such as scan
+insertion build a new :class:`Circuit`.  Construction validates the
+netlist (single driver per net, no dangling inputs, no combinational
+cycles, legal gate arities) and precomputes the structures the simulators
+need: a topological order of the combinational gates and a fanout map.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from .gates import GATE_KINDS, check_arity
+
+
+@dataclass(frozen=True)
+class Gate:
+    """One combinational gate: ``output = kind(inputs...)``."""
+
+    output: str
+    kind: str
+    inputs: Tuple[str, ...]
+
+    def __post_init__(self):
+        if self.kind not in GATE_KINDS:
+            raise ValueError(f"unknown gate kind: {self.kind!r}")
+        check_arity(self.kind, len(self.inputs))
+        if self.output in self.inputs and self.kind != "BUF":
+            raise ValueError(f"gate {self.output} feeds itself combinationally")
+
+
+@dataclass(frozen=True)
+class FlipFlop:
+    """One D flip-flop: net ``q`` takes the previous value of net ``d``."""
+
+    q: str
+    d: str
+
+
+class CircuitError(ValueError):
+    """Raised when a netlist fails structural validation."""
+
+
+class Circuit:
+    """Immutable synchronous sequential circuit.
+
+    Parameters
+    ----------
+    name:
+        Circuit identifier (e.g. ``"s27"``).
+    inputs:
+        Primary input net names, in declaration order.  Order matters: test
+        vectors are tuples aligned with this list.
+    outputs:
+        Primary output net names, in declaration order.
+    gates:
+        Combinational gates.  Each drives a distinct net.
+    flops:
+        D flip-flops.  Each drives a distinct net with the registered
+        value of its ``d`` net.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        inputs: Sequence[str],
+        outputs: Sequence[str],
+        gates: Iterable[Gate],
+        flops: Iterable[FlipFlop] = (),
+    ):
+        self.name = name
+        self.inputs: Tuple[str, ...] = tuple(inputs)
+        self.outputs: Tuple[str, ...] = tuple(outputs)
+        self.gates: Tuple[Gate, ...] = tuple(gates)
+        self.flops: Tuple[FlipFlop, ...] = tuple(flops)
+        self._validate()
+        self.gate_by_output: Dict[str, Gate] = {g.output: g for g in self.gates}
+        self.flop_by_q: Dict[str, FlipFlop] = {f.q: f for f in self.flops}
+        self._fanout = self._build_fanout()
+        self.topo_gates: Tuple[Gate, ...] = tuple(self._topological_order())
+
+    # -- structural queries -------------------------------------------------
+
+    @property
+    def num_inputs(self) -> int:
+        return len(self.inputs)
+
+    @property
+    def num_outputs(self) -> int:
+        return len(self.outputs)
+
+    @property
+    def num_state_vars(self) -> int:
+        """Number of flip-flops (``N_SV`` in the paper)."""
+        return len(self.flops)
+
+    @property
+    def num_gates(self) -> int:
+        return len(self.gates)
+
+    def nets(self) -> List[str]:
+        """All driven nets: PIs, gate outputs and flip-flop outputs."""
+        driven = list(self.inputs)
+        driven.extend(g.output for g in self.gates)
+        driven.extend(f.q for f in self.flops)
+        return driven
+
+    def driver_kind(self, net: str) -> str:
+        """Classify the driver of ``net``: ``'input'``, ``'gate'`` or ``'flop'``."""
+        if net in self._input_set:
+            return "input"
+        if net in self.gate_by_output:
+            return "gate"
+        if net in self.flop_by_q:
+            return "flop"
+        raise KeyError(f"net {net!r} is not driven in circuit {self.name}")
+
+    def fanout(self, net: str) -> Tuple[Tuple[str, int], ...]:
+        """Sink pins of ``net``.
+
+        Each sink is ``(consumer, pin)`` where ``consumer`` is a gate
+        output name, a flip-flop ``q`` name (its D pin, pin index 0) or a
+        primary output name (pin index 0), and ``pin`` is the input pin
+        index on that consumer.  Primary outputs are reported with the
+        consumer name ``"PO:<name>"`` to keep the namespace unambiguous.
+        """
+        return self._fanout.get(net, ())
+
+    def fanout_count(self, net: str) -> int:
+        """Number of sink pins reading ``net``."""
+        return len(self._fanout.get(net, ()))
+
+    def stats(self) -> Dict[str, int]:
+        """Size summary used by reports and the benchmark tables."""
+        return {
+            "inputs": self.num_inputs,
+            "outputs": self.num_outputs,
+            "gates": self.num_gates,
+            "flops": self.num_state_vars,
+            "nets": len(self.nets()),
+        }
+
+    # -- construction helpers ----------------------------------------------
+
+    def _validate(self) -> None:
+        self._input_set = frozenset(self.inputs)
+        if len(self._input_set) != len(self.inputs):
+            raise CircuitError(f"{self.name}: duplicate primary input")
+        drivers: Dict[str, str] = {net: "input" for net in self.inputs}
+        for gate in self.gates:
+            if gate.output in drivers:
+                raise CircuitError(
+                    f"{self.name}: net {gate.output!r} has multiple drivers"
+                )
+            drivers[gate.output] = "gate"
+        for flop in self.flops:
+            if flop.q in drivers:
+                raise CircuitError(f"{self.name}: net {flop.q!r} has multiple drivers")
+            drivers[flop.q] = "flop"
+        for gate in self.gates:
+            for net in gate.inputs:
+                if net not in drivers:
+                    raise CircuitError(
+                        f"{self.name}: gate {gate.output!r} reads undriven net {net!r}"
+                    )
+        for flop in self.flops:
+            if flop.d not in drivers:
+                raise CircuitError(
+                    f"{self.name}: flop {flop.q!r} reads undriven net {flop.d!r}"
+                )
+        for net in self.outputs:
+            if net not in drivers:
+                raise CircuitError(f"{self.name}: output {net!r} is undriven")
+        if len(set(self.outputs)) != len(self.outputs):
+            raise CircuitError(f"{self.name}: duplicate primary output")
+
+    def _build_fanout(self) -> Dict[str, Tuple[Tuple[str, int], ...]]:
+        fanout: Dict[str, List[Tuple[str, int]]] = {}
+        for gate in self.gates:
+            for pin, net in enumerate(gate.inputs):
+                fanout.setdefault(net, []).append((gate.output, pin))
+        for flop in self.flops:
+            fanout.setdefault(flop.d, []).append((flop.q, 0))
+        for po in self.outputs:
+            fanout.setdefault(po, []).append((f"PO:{po}", 0))
+        return {net: tuple(sinks) for net, sinks in fanout.items()}
+
+    def _topological_order(self) -> List[Gate]:
+        """Kahn's algorithm over the combinational gates.
+
+        Sources are primary inputs and flip-flop outputs; flip-flop D pins
+        and primary outputs are sinks and do not create edges, so any
+        cycle found is a genuine combinational loop.
+        """
+        ready_nets = set(self.inputs)
+        ready_nets.update(f.q for f in self.flops)
+        remaining_inputs = {
+            g.output: sum(1 for net in g.inputs if net not in ready_nets)
+            for g in self.gates
+        }
+        frontier = [g for g in self.gates if remaining_inputs[g.output] == 0]
+        order: List[Gate] = []
+        position = 0
+        frontier_index = 0
+        # Use an explicit index instead of pop(0) to stay O(V+E).
+        while frontier_index < len(frontier):
+            gate = frontier[frontier_index]
+            frontier_index += 1
+            order.append(gate)
+            position += 1
+            for sink, _pin in self._fanout.get(gate.output, ()):
+                if sink in self.gate_by_output:
+                    remaining_inputs[sink] -= 1
+                    if remaining_inputs[sink] == 0:
+                        frontier.append(self.gate_by_output[sink])
+        if len(order) != len(self.gates):
+            stuck = sorted(
+                out for out, count in remaining_inputs.items() if count > 0
+            )
+            raise CircuitError(
+                f"{self.name}: combinational cycle involving nets {stuck[:8]}"
+            )
+        return order
+
+    # -- misc ----------------------------------------------------------------
+
+    def __repr__(self) -> str:
+        return (
+            f"Circuit({self.name!r}, {self.num_inputs} PI, {self.num_outputs} PO, "
+            f"{self.num_gates} gates, {self.num_state_vars} FF)"
+        )
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, Circuit):
+            return NotImplemented
+        return (
+            self.name == other.name
+            and self.inputs == other.inputs
+            and self.outputs == other.outputs
+            and set(self.gates) == set(other.gates)
+            and set(self.flops) == set(other.flops)
+        )
+
+    def __hash__(self):
+        return hash((self.name, self.inputs, self.outputs))

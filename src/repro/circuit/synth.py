@@ -1,0 +1,165 @@
+"""Seeded synthetic sequential-circuit generator.
+
+The paper evaluates on ISCAS-89 and ITC-99 netlists that are not
+redistributable inside this repository (see DESIGN.md, substitution 1).
+This module generates random-but-reproducible sequential circuits with a
+prescribed number of primary inputs, flip-flops and gates, so the
+experiment suite can build stand-ins whose *scale* (PI count, state
+variables, fault count) matches each paper circuit.
+
+Design goals for the generated netlists, in order of importance:
+
+1. **Determinism** — identical arguments produce an identical circuit.
+2. **Structural realism** — multi-level logic with reconvergent fanout,
+   a realistic gate-kind mix, flip-flops whose next-state functions
+   depend on both inputs and present state (so sequential depth exists).
+3. **High testability** — no dead logic: every generated net reaches a
+   primary output or a flip-flop, keeping stuck-at coverage near 100%
+   like the paper's Table 5.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Sequence
+
+from .netlist import Circuit, FlipFlop, Gate
+
+#: Gate-kind mix (kind, weight, arity choices).  Weights loosely follow
+#: the composition of the ISCAS-89 suite: NAND/NOR-heavy with occasional
+#: wide gates and a sprinkle of XOR.
+_KIND_MIX = (
+    ("NAND", 24, (2, 2, 2, 3)),
+    ("NOR", 18, (2, 2, 3)),
+    ("AND", 22, (2, 2, 2, 3, 4)),
+    ("OR", 16, (2, 2, 3)),
+    ("NOT", 12, (1,)),
+    ("XOR", 4, (2,)),
+    ("XNOR", 2, (2,)),
+    ("BUF", 2, (1,)),
+)
+
+_KINDS = [kind for kind, _w, _a in _KIND_MIX]
+_WEIGHTS = [weight for _k, weight, _a in _KIND_MIX]
+_ARITIES = {kind: arities for kind, _w, arities in _KIND_MIX}
+
+
+def _pick_inputs(rng: random.Random, pool: Sequence[str], arity: int) -> List[str]:
+    """Choose ``arity`` distinct nets, biased toward recent ones.
+
+    The bias (squared-uniform index from the end of the pool) produces
+    multi-level structure: late gates mostly consume other late gates, so
+    logic depth grows with circuit size instead of staying flat.  Early
+    nets are still picked occasionally, creating long reconvergent paths.
+    """
+    chosen: List[str] = []
+    attempts = 0
+    while len(chosen) < arity and attempts < 50:
+        attempts += 1
+        if rng.random() < 0.25:
+            candidate = pool[rng.randrange(len(pool))]
+        else:
+            offset = int(rng.random() ** 2 * len(pool))
+            candidate = pool[len(pool) - 1 - offset]
+        if candidate not in chosen:
+            chosen.append(candidate)
+    while len(chosen) < arity:  # tiny pools: allow a repeat-free fallback
+        for candidate in pool:
+            if candidate not in chosen:
+                chosen.append(candidate)
+                break
+        else:
+            raise ValueError("signal pool too small for requested gate arity")
+    return chosen
+
+
+def random_circuit(
+    name: str,
+    num_inputs: int,
+    num_flops: int,
+    num_gates: int,
+    seed: int,
+    num_outputs: int = 0,
+) -> Circuit:
+    """Generate a random synchronous sequential circuit.
+
+    Parameters
+    ----------
+    name:
+        Circuit name.
+    num_inputs:
+        Primary input count (must be >= 1).
+    num_flops:
+        Flip-flop count (0 gives a combinational circuit).
+    num_gates:
+        Combinational gate count; must be >= ``num_flops`` so every
+        flip-flop gets a distinct next-state function.
+    seed:
+        Seed for the dedicated :class:`random.Random` instance; fully
+        determines the result.
+    num_outputs:
+        Primary output count.  0 (default) picks ``max(1, num_flops//3)``
+        observation points; any net left unread is additionally promoted
+        to a primary output so the circuit contains no dead logic.
+    """
+    if num_inputs < 1:
+        raise ValueError("need at least one primary input")
+    if num_gates < max(1, num_flops):
+        raise ValueError("num_gates must be >= max(1, num_flops)")
+    rng = random.Random(seed)
+
+    inputs = [f"pi{i}" for i in range(num_inputs)]
+    flop_qs = [f"ff{i}" for i in range(num_flops)]
+    pool: List[str] = list(inputs) + list(flop_qs)
+    gates: List[Gate] = []
+
+    for index in range(num_gates):
+        kind = rng.choices(_KINDS, weights=_WEIGHTS, k=1)[0]
+        arity = rng.choice(_ARITIES[kind])
+        arity = min(arity, len(pool))
+        if arity < 2 and kind not in ("NOT", "BUF"):
+            kind = "NOT"
+            arity = 1
+        out = f"n{index}"
+        gates.append(Gate(out, kind, tuple(_pick_inputs(rng, pool, arity))))
+        pool.append(out)
+
+    gate_outputs = [g.output for g in gates]
+
+    # Next-state functions: prefer late gate outputs so state depends on
+    # deep logic; require distinct drivers across flip-flops when possible.
+    flops: List[FlipFlop] = []
+    d_candidates = list(gate_outputs)
+    rng.shuffle(d_candidates)
+    d_candidates.sort(key=gate_outputs.index)  # deterministic re-sort
+    tail = gate_outputs[len(gate_outputs) // 2 :] or gate_outputs
+    used_d: List[str] = []
+    for q_net in flop_qs:
+        choices = [n for n in tail if n not in used_d] or [
+            n for n in gate_outputs if n not in used_d
+        ] or gate_outputs
+        d_net = choices[rng.randrange(len(choices))]
+        used_d.append(d_net)
+        flops.append(FlipFlop(q=q_net, d=d_net))
+
+    if num_outputs <= 0:
+        num_outputs = max(1, num_flops // 3)
+    po_pool = [n for n in gate_outputs if n not in used_d] or gate_outputs
+    outputs: List[str] = []
+    for _ in range(min(num_outputs, len(po_pool))):
+        candidate = po_pool[rng.randrange(len(po_pool))]
+        if candidate not in outputs:
+            outputs.append(candidate)
+
+    # Promote dead nets (no reader at all) to primary outputs so every
+    # fault is potentially observable.
+    read = set()
+    for gate in gates:
+        read.update(gate.inputs)
+    read.update(f.d for f in flops)
+    read.update(outputs)
+    for net in gate_outputs:
+        if net not in read:
+            outputs.append(net)
+
+    return Circuit(name=name, inputs=inputs, outputs=outputs, gates=gates, flops=flops)

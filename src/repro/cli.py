@@ -1,0 +1,210 @@
+"""Command-line interface.
+
+Subcommands::
+
+    repro-atpg generate  <circuit> [--seed N] [--no-compact] [--show-sequence]
+    repro-atpg translate <circuit> [--seed N]
+    repro-atpg table     {5,6,7}   [--profile quick|default|full]
+    repro-atpg analyze   <circuit> [--hardest N]
+    repro-atpg report    [--profile ...] [--out FILE]
+    repro-atpg export    <circuit> <out.vcd|out.stil> [--seed N]
+    repro-atpg info      <circuit>
+    repro-atpg list
+
+``<circuit>`` is a suite name (``s27``, ``s298``, ``b01``, ...) or a path
+to a ``.bench`` / structural-``.v`` file of a sequential circuit.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Optional
+
+from .circuit.bench import load_bench
+from .circuit.netlist import Circuit
+from .core.pipeline import generation_flow, translation_flow
+from .experiments import suite as suite_mod
+from .experiments import table5, table6, table7
+
+
+def _resolve_circuit(name: str) -> Circuit:
+    path = Path(name)
+    if path.suffix == ".v":
+        from .circuit.verilog import load_verilog
+
+        return load_verilog(path)
+    if path.suffix == ".bench" or path.exists():
+        return load_bench(path)
+    return suite_mod.build_circuit(name)
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    circuit = _resolve_circuit(args.circuit)
+    flow = generation_flow(circuit, seed=args.seed, compact=not args.no_compact)
+    print(f"circuit {circuit.name}: {circuit.num_inputs} PI, "
+          f"{circuit.num_state_vars} FF -> C_scan with {flow.num_faults} "
+          f"collapsed faults")
+    print(f"detected {flow.detected_total} "
+          f"(fcov {flow.fault_coverage:.2f}%, testable "
+          f"{flow.testable_coverage:.2f}%), funct {flow.funct_count}, "
+          f"proven redundant {len(flow.untestable)}")
+    print(f"generated sequence: {flow.raw_stats()}")
+    if flow.restored is not None:
+        print(f"after restoration [23]: {flow.restored_stats()}")
+        print(f"after omission [22]: {flow.omitted_stats()} "
+              f"(+{flow.extra_detected} extra faults)")
+    if args.show_sequence:
+        final = flow.omitted.sequence if flow.omitted else flow.raw
+        print(final.to_table())
+    return 0
+
+
+def _cmd_translate(args: argparse.Namespace) -> int:
+    circuit = _resolve_circuit(args.circuit)
+    flow = translation_flow(circuit, seed=args.seed)
+    print(f"circuit {circuit.name}: baseline {flow.baseline.test_set.summary()}")
+    print(f"translated sequence: {flow.translated_stats()}")
+    print(f"after restoration [23]: {flow.restored_stats()}")
+    print(f"after omission [22]: {flow.omitted_stats()}")
+    cycles = flow.baseline_cycles
+    compacted = flow.omitted_stats().total
+    if compacted:
+        print(f"test application time: {cycles} -> {compacted} cycles "
+              f"({cycles / compacted:.2f}x faster)")
+    return 0
+
+
+def _cmd_table(args: argparse.Namespace) -> int:
+    module = {"5": table5, "6": table6, "7": table7}[args.number]
+    module.main(args.profile)
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from .experiments.report import build_report
+
+    text = build_report(args.profile)
+    if args.out:
+        Path(args.out).write_text(text)
+        print(f"report written to {args.out}")
+    else:
+        print(text)
+    return 0
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    from .analysis import analyze, hardest_nets
+
+    circuit = _resolve_circuit(args.circuit)
+    print(analyze(circuit))
+    print(f"\nhardest nets (SCOAP, worst {args.hardest}):")
+    for net, measure in hardest_nets(circuit, count=args.hardest):
+        print(f"  {net:>16}  CC0={measure.cc0:<6} CC1={measure.cc1:<6} "
+              f"CO={measure.co}")
+    return 0
+
+
+def _cmd_export(args: argparse.Namespace) -> int:
+    from .testseq import write_stil, write_vcd
+
+    circuit = _resolve_circuit(args.circuit)
+    flow = generation_flow(circuit, seed=args.seed)
+    sequence = flow.omitted.sequence if flow.omitted else flow.raw
+    scan_circuit = flow.scan_circuit.circuit
+    out = Path(args.output)
+    if out.suffix == ".vcd":
+        write_vcd(sequence, out, circuit=scan_circuit)
+    elif out.suffix == ".stil":
+        write_stil(sequence, out, circuit=scan_circuit)
+    else:
+        print(f"unsupported extension {out.suffix!r} (use .vcd or .stil)")
+        return 1
+    print(f"wrote {len(sequence)} cycles ({sequence.scan_vector_count()} "
+          f"scan) for {scan_circuit.name} to {out}")
+    return 0
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    circuit = _resolve_circuit(args.circuit)
+    for key, value in circuit.stats().items():
+        print(f"{key:>8}: {value}")
+    return 0
+
+
+def _cmd_list(_args: argparse.Namespace) -> int:
+    print("s27 (exact netlist)")
+    for spec in suite_mod.PAPER_CIRCUITS:
+        print(f"{spec.name} (synthetic stand-in, {spec.family}, "
+              f"inp={spec.paper_inputs} stvr={spec.paper_state_vars} "
+              f"faults~{spec.paper_faults}, tier={spec.tier})")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argparse tree (exposed for testing/sphinx)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-atpg",
+        description="Scan-as-primary-input test generation and compaction "
+                    "(Pomeranz & Reddy, DATE 2003 reproduction).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen = sub.add_parser("generate", help="Section 2 generation + Section 4 "
+                                          "compaction on one circuit")
+    gen.add_argument("circuit")
+    gen.add_argument("--seed", type=int, default=0)
+    gen.add_argument("--no-compact", action="store_true")
+    gen.add_argument("--show-sequence", action="store_true")
+    gen.set_defaults(func=_cmd_generate)
+
+    trans = sub.add_parser("translate", help="Section 3 translation flow "
+                                             "on one circuit")
+    trans.add_argument("circuit")
+    trans.add_argument("--seed", type=int, default=0)
+    trans.set_defaults(func=_cmd_translate)
+
+    table = sub.add_parser("table", help="regenerate a paper table")
+    table.add_argument("number", choices=["5", "6", "7"])
+    table.add_argument("--profile", default=None,
+                       choices=sorted(suite_mod.PROFILES))
+    table.set_defaults(func=_cmd_table)
+
+    rep = sub.add_parser("report", help="run the whole evaluation and "
+                                        "render a markdown report")
+    rep.add_argument("--profile", default=None,
+                     choices=sorted(suite_mod.PROFILES))
+    rep.add_argument("--out", default=None)
+    rep.set_defaults(func=_cmd_report)
+
+    ana = sub.add_parser("analyze", help="SCOAP testability + structure "
+                                         "report")
+    ana.add_argument("circuit")
+    ana.add_argument("--hardest", type=int, default=10)
+    ana.set_defaults(func=_cmd_analyze)
+
+    exp = sub.add_parser("export", help="generate, compact and export a "
+                                        "test sequence (.vcd / .stil)")
+    exp.add_argument("circuit")
+    exp.add_argument("output")
+    exp.add_argument("--seed", type=int, default=0)
+    exp.set_defaults(func=_cmd_export)
+
+    info = sub.add_parser("info", help="print circuit statistics")
+    info.add_argument("circuit")
+    info.set_defaults(func=_cmd_info)
+
+    lst = sub.add_parser("list", help="list suite circuits")
+    lst.set_defaults(func=_cmd_list)
+    return parser
+
+
+def main(argv: Optional[list] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,23 @@
+"""Static test compaction: vector restoration [23] and vector omission
+[22] for single test sequences (the paper applies them, unchanged, to
+``C_scan`` sequences), plus reverse-order compaction for conventional
+scan test sets."""
+
+from .base import CompactionOracle
+from .omission import OmissionResult, omission_compact
+from .overlapped import overlapped_restoration_compact
+from .restoration import RestorationResult, restoration_compact
+from .scan_set import reverse_order_compact
+from .subsequences import SubsequenceRemovalResult, subsequence_removal_compact
+
+__all__ = [
+    "CompactionOracle",
+    "restoration_compact",
+    "RestorationResult",
+    "omission_compact",
+    "OmissionResult",
+    "reverse_order_compact",
+    "overlapped_restoration_compact",
+    "subsequence_removal_compact",
+    "SubsequenceRemovalResult",
+]

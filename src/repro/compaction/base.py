@@ -1,0 +1,102 @@
+"""Shared infrastructure for static test compaction.
+
+The compaction procedures of Section 4 were "developed for non-scan
+synchronous sequential circuits, which accept a single test sequence" —
+they know nothing about scan.  Their only interface to the circuit is a
+*detection oracle*: given a sequence, which target faults does it detect,
+and when?  :class:`CompactionOracle` packages the packed fault simulator
+behind that interface, adding the prefix-checkpoint machinery that makes
+vector omission affordable (re-simulating only the suffix after each
+tentative omission).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..circuit.netlist import Circuit
+from ..faults.model import Fault
+from ..sim.fault_sim import PackedFaultSimulator
+
+
+class CompactionOracle:
+    """Detection oracle over a fixed circuit and target fault list."""
+
+    def __init__(self, circuit: Circuit, faults: Sequence[Fault],
+                 simulator_factory=PackedFaultSimulator):
+        self.circuit = circuit
+        self.faults = list(faults)
+        self.sim = simulator_factory(circuit, self.faults)
+        self._position = {f: i + 1 for i, f in enumerate(self.faults)}
+
+    # -- mask helpers -----------------------------------------------------
+
+    def mask_of(self, faults: Iterable[Fault]) -> int:
+        """Bit mask corresponding to a set of target faults."""
+        mask = 0
+        for fault in faults:
+            mask |= 1 << self._position[fault]
+        return mask
+
+    def faults_of(self, mask: int) -> List[Fault]:
+        """Decode a detection mask back into fault objects."""
+        return self.sim.faults_from_mask(mask)
+
+    @property
+    def all_mask(self) -> int:
+        return self.sim.fault_mask
+
+    # -- whole-sequence queries ---------------------------------------------
+
+    def detection_times(self, vectors: Sequence[Sequence[int]]) -> Dict[Fault, int]:
+        """First-detection time of every target fault under ``vectors``."""
+        result = self.sim.run(vectors)
+        return dict(result.detection_time)
+
+    def detected_mask(
+        self,
+        vectors: Sequence[Sequence[int]],
+        target_mask: Optional[int] = None,
+        initial_state=None,
+    ) -> int:
+        """Mask of targets detected by ``vectors``.
+
+        ``target_mask`` limits interest (enables early exit once all of
+        them fall); ``initial_state`` is a simulator snapshot to start
+        from instead of the all-X reset state.
+        """
+        sim = self.sim
+        if initial_state is None:
+            sim.reset()
+        else:
+            sim.restore_state(initial_state)
+        wanted = sim.fault_mask if target_mask is None else target_mask
+        seen = 0
+        for vector in vectors:
+            seen |= sim.step(vector)
+            if wanted & ~seen == 0:
+                break
+        return seen & wanted
+
+    def detects_all(
+        self,
+        vectors: Sequence[Sequence[int]],
+        target_mask: int,
+        initial_state=None,
+    ) -> bool:
+        """Does the sequence detect every fault in ``target_mask``?"""
+        return self.detected_mask(vectors, target_mask, initial_state) == target_mask
+
+    # -- checkpoints ------------------------------------------------------------
+
+    def reset_checkpoint(self) -> Tuple:
+        """A snapshot of the power-up (all-X) state."""
+        self.sim.reset()
+        return self.sim.save_state()
+
+    def advance(self, checkpoint, vector) -> Tuple[Tuple, int]:
+        """Extend a checkpoint by one vector; returns the new checkpoint
+        and the mask detected during that cycle."""
+        self.sim.restore_state(checkpoint)
+        detected = self.sim.step(vector)
+        return self.sim.save_state(), detected

@@ -1,0 +1,58 @@
+"""Static compaction of conventional scan test sets.
+
+This is the compaction world of the *prior* approaches: it operates on
+whole ``(SI, T)`` tests and can only drop a scan operation by dropping
+the entire test — "when they eliminate a scan operation in order to
+compact the test set, they eliminate it completely.  As a result, they do
+not have the ability to replace a complete scan operation with a limited
+one" (Section 1).  The contrast with
+:mod:`repro.compaction.restoration` / :mod:`~repro.compaction.omission`
+applied to translated sequences is the substance of Table 7.
+
+The pass implemented here is classic reverse-order fault simulation:
+tests are simulated newest-first, and a test is kept only when it detects
+a fault not yet covered by the tests kept so far.  (Later tests tend to
+target the hard faults and incidentally cover many easy ones, so the
+early easy-fault tests usually fall away.)
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from ..atpg.scan_sim import scan_test_detections
+from ..circuit.netlist import Circuit
+from ..testseq.scan_tests import ScanTestSet
+from ..faults.model import Fault
+from ..sim.fault_sim import PackedFaultSimulator
+
+
+def reverse_order_compact(
+    circuit: Circuit,
+    faults: Sequence[Fault],
+    test_set: ScanTestSet,
+) -> Tuple[ScanTestSet, Dict[Fault, int]]:
+    """Reverse-order pass over ``test_set``.
+
+    Returns the compacted set (original relative order preserved) and the
+    fault -> kept-test-index detection map.
+    """
+    sim = PackedFaultSimulator(circuit, faults)
+    undetected = sim.fault_mask
+    keep: List[int] = []
+    detections: Dict[int, int] = {}  # original index -> mask newly detected
+    for index in range(len(test_set) - 1, -1, -1):
+        mask = scan_test_detections(sim, test_set[index])
+        newly = mask & undetected
+        if newly:
+            keep.append(index)
+            detections[index] = newly
+            undetected &= ~newly
+    keep.reverse()
+
+    compacted = ScanTestSet(circuit, [test_set[i] for i in keep])
+    detected_by: Dict[Fault, int] = {}
+    for new_index, original_index in enumerate(keep):
+        for fault in sim.faults_from_mask(detections[original_index]):
+            detected_by[fault] = new_index
+    return compacted, detected_by

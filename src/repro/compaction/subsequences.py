@@ -1,0 +1,104 @@
+"""Subsequence-removal static compaction (state-repetition based).
+
+A technique from the non-scan static compaction family the paper builds
+on (see refs [22]-[25]): when the fault-free machine visits the same
+state at two different times ``t1 < t2``, the vectors in ``[t1, t2)``
+form a loop — removing them leaves every later vector facing the same
+fault-free state, so the tail of the sequence behaves identically in the
+good machine.  Faulty machines may still differ (their states need not
+repeat), so each candidate removal is verified by fault simulation and
+kept only when every required fault stays detected.
+
+The procedure is greedy: it scans for the largest verifiable loops
+first, applies them, and repeats until no loop can be removed.  It
+composes with restoration and omission — run it first to cut gross
+cyclic behaviour cheaply (one verification per loop instead of one per
+vector), then let omission do the fine-grained work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..circuit.gates import X
+from ..circuit.netlist import Circuit
+from ..faults.model import Fault
+from ..sim.logic_sim import LogicSimulator
+from ..testseq.sequences import TestSequence
+from .base import CompactionOracle
+
+
+@dataclass
+class SubsequenceRemovalResult:
+    """Compacted sequence plus the loops that were removed."""
+
+    sequence: TestSequence
+    #: (start, length) of each removed span, in coordinates of the
+    #: sequence as it was when the span was removed.
+    removed_spans: List[Tuple[int, int]] = field(default_factory=list)
+    detected: List[Fault] = field(default_factory=list)
+
+
+def _state_occurrences(circuit: Circuit, vectors) -> Dict[Tuple, List[int]]:
+    """Map each fully-specified fault-free state to the times it is
+    entered (state *before* applying vector t); X states are skipped."""
+    sim = LogicSimulator(circuit)
+    occurrences: Dict[Tuple, List[int]] = {}
+    for t, vector in enumerate(vectors):
+        state = sim.state
+        if X not in state:
+            occurrences.setdefault(state, []).append(t)
+        sim.step(vector)
+    return occurrences
+
+
+def subsequence_removal_compact(
+    circuit: Circuit,
+    sequence: TestSequence,
+    faults: Sequence[Fault],
+    oracle: Optional[CompactionOracle] = None,
+    max_rounds: int = 20,
+) -> SubsequenceRemovalResult:
+    """Remove verified state-repetition loops from ``sequence``.
+
+    ``faults`` is the accounting universe; the required set is what the
+    input sequence detects.  At most ``max_rounds`` loops are removed
+    (each round re-derives the state map of the shortened sequence).
+    """
+    oracle = oracle or CompactionOracle(circuit, faults)
+    vectors = list(sequence.vectors)
+    required_mask = oracle.detected_mask(vectors)
+    removed: List[Tuple[int, int]] = []
+
+    for _round in range(max_rounds):
+        occurrences = _state_occurrences(circuit, vectors)
+        # Candidate loops, largest first.
+        candidates: List[Tuple[int, int]] = []
+        for times in occurrences.values():
+            if len(times) < 2:
+                continue
+            first, last = times[0], times[-1]
+            if last > first:
+                candidates.append((first, last - first))
+        candidates.sort(key=lambda span: span[1], reverse=True)
+
+        applied = False
+        for start, length in candidates:
+            trial = vectors[:start] + vectors[start + length:]
+            if oracle.detects_all(trial, required_mask):
+                vectors = trial
+                removed.append((start, length))
+                applied = True
+                break
+        if not applied:
+            break
+
+    compacted = TestSequence(sequence.inputs, vectors,
+                             scan_sel=sequence.scan_sel)
+    final_mask = oracle.detected_mask(vectors)
+    return SubsequenceRemovalResult(
+        sequence=compacted,
+        removed_spans=removed,
+        detected=oracle.faults_of(final_mask & required_mask),
+    )

@@ -1,0 +1,32 @@
+"""The paper's contribution: scan-as-primary-input test generation
+(Section 2), test set translation (Section 3) and the end-to-end
+generation/compaction pipelines (Sections 4-5).
+
+The sequence/test-set containers live in :mod:`repro.testseq` (a leaf
+package below the ATPG substrate) and are re-exported here for the
+public API.
+"""
+
+from ..testseq import ScanTest, ScanTestSet, SequenceStats, TestSequence
+from .scan_aware import ScanATPGResult, ScanAwareATPG
+from .translate import translate_test_set
+from .pipeline import (
+    GenerationFlowResult,
+    TranslationFlowResult,
+    generation_flow,
+    translation_flow,
+)
+
+__all__ = [
+    "TestSequence",
+    "SequenceStats",
+    "ScanTest",
+    "ScanTestSet",
+    "ScanAwareATPG",
+    "ScanATPGResult",
+    "translate_test_set",
+    "generation_flow",
+    "GenerationFlowResult",
+    "translation_flow",
+    "TranslationFlowResult",
+]

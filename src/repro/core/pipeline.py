@@ -1,0 +1,233 @@
+"""End-to-end flows: everything a row of Tables 5, 6 or 7 needs.
+
+Two flows mirror the paper's two experiments:
+
+* :func:`generation_flow` — Section 2 generation on ``C_scan`` followed
+  by Section 4 compaction (restoration, then omission).  Feeds Tables 5
+  and 6.
+* :func:`translation_flow` — a conventional second-approach test set
+  (the [26] stand-in), Section 3 translation into a ``C_scan`` sequence,
+  then the same compaction.  Feeds Table 7.
+
+Both return rich result objects; the experiment modules only format.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..atpg.comb_view import comb_view
+from ..atpg.podem import UNTESTABLE, Podem
+from ..atpg.seq_atpg import SeqATPGConfig
+from ..circuit.netlist import Circuit
+from ..circuit.scan import ScanCircuit, insert_scan
+from ..compaction.base import CompactionOracle
+from ..compaction.omission import OmissionResult, omission_compact
+from ..compaction.restoration import RestorationResult, restoration_compact
+from ..faults.collapse import collapse_faults
+from ..faults.model import Fault
+from .scan_aware import ScanATPGResult, ScanAwareATPG
+
+if False:  # pragma: no cover - import-time cycle avoidance; see TYPE notes
+    from ..atpg.scan_seq import SecondApproachResult
+from ..testseq.sequences import SequenceStats, TestSequence
+from .translate import translate_test_set
+
+
+@dataclass
+class GenerationFlowResult:
+    """Section 2 + Section 4 on one circuit."""
+
+    circuit: Circuit
+    scan_circuit: ScanCircuit
+    faults: List[Fault]
+    atpg: ScanATPGResult
+    #: Aborted faults proven redundant by exhaustive PODEM on the
+    #: combinational view (full scan makes that proof exact).  The paper's
+    #: generator cannot prove redundancy; we report both coverages.
+    untestable: List[Fault] = field(default_factory=list)
+    raw: Optional[TestSequence] = None
+    restored: Optional[RestorationResult] = None
+    omitted: Optional[OmissionResult] = None
+    elapsed_seconds: float = 0.0
+
+    # -- Table 5 fields ------------------------------------------------------
+
+    @property
+    def num_faults(self) -> int:
+        return len(self.faults)
+
+    @property
+    def detected_total(self) -> int:
+        return self.atpg.base.detected_count
+
+    @property
+    def fault_coverage(self) -> float:
+        """Paper-style: detected / all targeted faults."""
+        if not self.faults:
+            return 100.0
+        return 100.0 * self.detected_total / len(self.faults)
+
+    @property
+    def testable_coverage(self) -> float:
+        """Detected / (targets minus proven-redundant)."""
+        testable = len(self.faults) - len(self.untestable)
+        if testable <= 0:
+            return 100.0
+        return 100.0 * self.detected_total / testable
+
+    @property
+    def funct_count(self) -> int:
+        return self.atpg.funct_count
+
+    # -- Table 6 fields ---------------------------------------------------------
+
+    def raw_stats(self) -> SequenceStats:
+        """Length/scan stats of the generated sequence (Table 6 `test len`)."""
+        return self.raw.stats()
+
+    def restored_stats(self) -> SequenceStats:
+        """Stats after restoration [23] (Table 6 `restor len`)."""
+        return self.restored.sequence.stats()
+
+    def omitted_stats(self) -> SequenceStats:
+        """Stats after omission [22] (Table 6 `omit len`)."""
+        return self.omitted.sequence.stats()
+
+    @property
+    def extra_detected(self) -> int:
+        """Faults gained during compaction (the paper's ``ext det``)."""
+        return len(self.omitted.extra_detected) if self.omitted else 0
+
+
+def generation_flow(
+    circuit: Circuit,
+    seed: int = 0,
+    config: Optional[SeqATPGConfig] = None,
+    compact: bool = True,
+    classify_redundant: bool = True,
+    use_scan_knowledge: bool = True,
+    use_justification: bool = True,
+    num_chains: int = 1,
+    redundancy_backtrack_limit: int = 20000,
+) -> GenerationFlowResult:
+    """Run Section 2 generation (+ Section 4 compaction) on ``circuit``.
+
+    ``circuit`` is the *non-scan* circuit; scan insertion, fault
+    enumeration/collapsing and everything downstream happen here.
+    """
+    started = time.perf_counter()
+    config = config or SeqATPGConfig(seed=seed)
+    scan_circuit = insert_scan(circuit, num_chains=num_chains)
+    faults = collapse_faults(scan_circuit.circuit)
+    atpg = ScanAwareATPG(
+        scan_circuit,
+        faults,
+        config=config,
+        use_scan_knowledge=use_scan_knowledge,
+        use_justification=use_justification,
+    ).generate()
+    result = GenerationFlowResult(
+        circuit=circuit,
+        scan_circuit=scan_circuit,
+        faults=faults,
+        atpg=atpg,
+        raw=atpg.sequence,
+    )
+    if classify_redundant and atpg.base.aborted:
+        podem = Podem(
+            comb_view(scan_circuit.circuit).circuit,
+            backtrack_limit=redundancy_backtrack_limit,
+        )
+        for fault in atpg.base.aborted:
+            if fault.consumer is not None and \
+                    fault.consumer in scan_circuit.circuit.flop_by_q:
+                continue
+            if podem.run(fault).status == UNTESTABLE:
+                result.untestable.append(fault)
+    if compact:
+        _compact_into(result, scan_circuit.circuit, atpg.sequence, faults)
+    result.elapsed_seconds = time.perf_counter() - started
+    return result
+
+
+@dataclass
+class TranslationFlowResult:
+    """Baseline test set -> Section 3 translation -> Section 4 compaction."""
+
+    circuit: Circuit
+    scan_circuit: ScanCircuit
+    faults: List[Fault]
+    baseline: "SecondApproachResult"
+    translated: Optional[TestSequence] = None
+    restored: Optional[RestorationResult] = None
+    omitted: Optional[OmissionResult] = None
+    elapsed_seconds: float = 0.0
+
+    @property
+    def baseline_cycles(self) -> int:
+        """Conventional application cost — the ``[26] cyc`` column."""
+        return self.baseline.total_cycles()
+
+    def translated_stats(self) -> SequenceStats:
+        """Stats of the translated sequence (Table 7 `test len`)."""
+        return self.translated.stats()
+
+    def restored_stats(self) -> SequenceStats:
+        """Stats after restoration [23] (Table 7 `restor len`)."""
+        return self.restored.sequence.stats()
+
+    def omitted_stats(self) -> SequenceStats:
+        """Stats after omission [22] (Table 7 `omit len`)."""
+        return self.omitted.sequence.stats()
+
+
+def translation_flow(
+    circuit: Circuit,
+    seed: int = 0,
+    baseline_config=None,
+    compact: bool = True,
+    num_chains: int = 1,
+    baseline=None,
+) -> TranslationFlowResult:
+    """Run the Section 3 experiment on ``circuit`` (see module docstring).
+
+    A precomputed ``baseline`` may be passed to share it with a Table 6
+    run on the same circuit.
+    """
+    from ..atpg.scan_seq import SecondApproachATPG, SecondApproachConfig
+
+    started = time.perf_counter()
+    scan_circuit = insert_scan(circuit, num_chains=num_chains)
+    faults = collapse_faults(scan_circuit.circuit)
+    if baseline is None:
+        baseline_config = baseline_config or SecondApproachConfig(seed=seed)
+        baseline = SecondApproachATPG(
+            circuit, config=baseline_config
+        ).generate()
+    translated = translate_test_set(scan_circuit, baseline.test_set)
+    translated = translated.randomize_x(random.Random(seed ^ 0x7EA5))
+    result = TranslationFlowResult(
+        circuit=circuit,
+        scan_circuit=scan_circuit,
+        faults=faults,
+        baseline=baseline,
+        translated=translated,
+    )
+    if compact:
+        _compact_into(result, scan_circuit.circuit, translated, faults)
+    result.elapsed_seconds = time.perf_counter() - started
+    return result
+
+
+def _compact_into(result, circuit: Circuit, sequence: TestSequence, faults) -> None:
+    """Shared Section 4 tail: restoration (on the detected set), then
+    omission (accounted over the full universe so ``ext det`` shows)."""
+    oracle = CompactionOracle(circuit, faults)
+    restored = restoration_compact(circuit, sequence, faults, oracle=oracle)
+    omitted = omission_compact(circuit, restored.sequence, faults, oracle=oracle)
+    result.restored = restored
+    result.omitted = omitted

@@ -1,0 +1,227 @@
+"""Ablations of the design choices DESIGN.md calls out.
+
+The paper motivates three mechanisms; each ablation removes one and
+measures the damage:
+
+* **A — functional scan knowledge** (Section 2): run the base non-scan
+  generator on ``C_scan`` with the completion hook disabled.  The paper's
+  ``funct`` column predicts exactly which coverage is lost.
+* **B — compaction pipeline** (Section 4): restoration-only,
+  omission-only, and restoration-then-omission (the paper's order), on
+  the same generated sequence.
+* **C — limited vs complete scan**: the cycle cost of the same fault
+  coverage when every scan operation must be complete (the conventional
+  baseline) versus the compacted limited-scan sequence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from ..compaction.base import CompactionOracle
+from ..compaction.omission import omission_compact
+from ..compaction.restoration import restoration_compact
+from ..reporting.tables import format_table
+from . import runner, suite
+
+
+# -- Ablation A: functional scan knowledge on/off -----------------------------
+
+
+@dataclass(frozen=True)
+class FunctAblationRow:
+    circuit: str
+    detected_with: int
+    detected_without: int
+    funct: int
+
+    @property
+    def lost(self) -> int:
+        return self.detected_with - self.detected_without
+
+
+def ablate_scan_knowledge(profile: Optional[str] = None) -> List[FunctAblationRow]:
+    """Run generation with and without the Section 2 completions."""
+    rows = []
+    for name in suite.suite_circuits(profile):
+        with_knowledge = runner.generation_result(name)
+        without = runner.generation_result(name, use_scan_knowledge=False)
+        rows.append(
+            FunctAblationRow(
+                circuit=name,
+                detected_with=with_knowledge.detected_total,
+                detected_without=without.detected_total,
+                funct=with_knowledge.funct_count,
+            )
+        )
+    return rows
+
+
+def render_scan_knowledge(rows: List[FunctAblationRow]) -> str:
+    """Format Ablation A as a table."""
+    return format_table(
+        headers=["circ", "det (with)", "det (without)", "lost", "funct col"],
+        rows=[(r.circuit, r.detected_with, r.detected_without, r.lost, r.funct)
+              for r in rows],
+        title="Ablation A: functional scan knowledge on/off",
+    )
+
+
+# -- Ablation B: compaction pipeline variants -----------------------------------
+
+
+@dataclass(frozen=True)
+class CompactionAblationRow:
+    circuit: str
+    raw: int
+    restoration_only: int
+    omission_only: int
+    both: int
+
+
+def ablate_compaction(profile: Optional[str] = None) -> List[CompactionAblationRow]:
+    """Compare restoration-only / omission-only / both on one sequence."""
+    rows = []
+    for name in suite.suite_circuits(profile):
+        flow = runner.generation_result(name)
+        circuit = flow.scan_circuit.circuit
+        oracle = CompactionOracle(circuit, flow.faults)
+        restoration = restoration_compact(circuit, flow.raw, flow.faults,
+                                          oracle=oracle)
+        omission = omission_compact(circuit, flow.raw, flow.faults,
+                                    oracle=oracle)
+        rows.append(
+            CompactionAblationRow(
+                circuit=name,
+                raw=len(flow.raw),
+                restoration_only=len(restoration.sequence),
+                omission_only=len(omission.sequence),
+                both=flow.omitted_stats().total,
+            )
+        )
+    return rows
+
+
+def render_compaction(rows: List[CompactionAblationRow]) -> str:
+    """Format Ablation B as a table."""
+    return format_table(
+        headers=["circ", "raw", "restor only", "omit only", "restor+omit"],
+        rows=[(r.circuit, r.raw, r.restoration_only, r.omission_only, r.both)
+              for r in rows],
+        title="Ablation B: compaction pipeline variants (sequence length)",
+    )
+
+
+# -- Ablation C: limited vs complete scan -----------------------------------------
+
+
+@dataclass(frozen=True)
+class LimitedScanRow:
+    circuit: str
+    state_vars: int
+    complete_scan_cycles: int   # conventional baseline (complete ops only)
+    limited_scan_cycles: int    # compacted C_scan sequence
+    limited_runs: Tuple[int, ...]
+
+    @property
+    def win(self) -> float:
+        if not self.limited_scan_cycles:
+            return float("inf")
+        return self.complete_scan_cycles / self.limited_scan_cycles
+
+
+def ablate_limited_scan(profile: Optional[str] = None) -> List[LimitedScanRow]:
+    """Complete-scan baseline cycles vs the compacted C_scan sequence."""
+    rows = []
+    for name in suite.suite_circuits(profile):
+        flow = runner.generation_result(name)
+        baseline = runner.baseline_result(name)
+        sequence = flow.omitted.sequence
+        rows.append(
+            LimitedScanRow(
+                circuit=name,
+                state_vars=flow.circuit.num_state_vars,
+                complete_scan_cycles=baseline.total_cycles(),
+                limited_scan_cycles=len(sequence),
+                limited_runs=tuple(sequence.scan_runs()),
+            )
+        )
+    return rows
+
+
+def render_limited_scan(rows: List[LimitedScanRow]) -> str:
+    """Format Ablation C as a table."""
+    formatted = []
+    for r in rows:
+        limited = sum(1 for run in r.limited_runs if run < r.state_vars)
+        formatted.append((
+            r.circuit, r.state_vars, r.complete_scan_cycles,
+            r.limited_scan_cycles, f"{r.win:.2f}x",
+            f"{limited}/{len(r.limited_runs)}",
+        ))
+    return format_table(
+        headers=["circ", "N_SV", "complete-scan cyc", "limited-scan cyc",
+                 "win", "limited runs"],
+        rows=formatted,
+        title="Ablation C: complete-scan-only vs limited-scan application",
+    )
+
+
+# -- Ablation D: restoration variants ([23] plain vs [24] overlapped) -----------
+
+
+@dataclass(frozen=True)
+class RestorationVariantRow:
+    circuit: str
+    raw: int
+    plain: int
+    overlapped: int
+    loops_then_omit: int
+
+
+def ablate_restoration_variants(
+    profile: Optional[str] = None,
+) -> List[RestorationVariantRow]:
+    """Compare the compaction procedures beyond the paper's pair: plain
+    restoration [23], overlapped restoration with segment pruning [24],
+    and subsequence-removal + omission."""
+    from ..compaction.omission import omission_compact
+    from ..compaction.overlapped import overlapped_restoration_compact
+    from ..compaction.subsequences import subsequence_removal_compact
+
+    rows = []
+    for name in suite.suite_circuits(profile):
+        flow = runner.generation_result(name)
+        circuit = flow.scan_circuit.circuit
+        oracle = CompactionOracle(circuit, flow.faults)
+        plain = restoration_compact(circuit, flow.raw, flow.faults,
+                                    oracle=oracle)
+        overlapped = overlapped_restoration_compact(
+            circuit, flow.raw, flow.faults, oracle=oracle
+        )
+        loops = subsequence_removal_compact(circuit, flow.raw, flow.faults,
+                                            oracle=oracle)
+        loops_omit = omission_compact(circuit, loops.sequence, flow.faults,
+                                      oracle=oracle)
+        rows.append(
+            RestorationVariantRow(
+                circuit=name,
+                raw=len(flow.raw),
+                plain=len(plain.sequence),
+                overlapped=len(overlapped.sequence),
+                loops_then_omit=len(loops_omit.sequence),
+            )
+        )
+    return rows
+
+
+def render_restoration_variants(rows: List[RestorationVariantRow]) -> str:
+    """Format Ablation D as a table."""
+    return format_table(
+        headers=["circ", "raw", "restor [23]", "overlap [24]",
+                 "loops+omit"],
+        rows=[(r.circuit, r.raw, r.plain, r.overlapped, r.loops_then_omit)
+              for r in rows],
+        title="Ablation D: restoration variants (sequence length)",
+    )

@@ -1,0 +1,74 @@
+"""Shared, memoized execution of the per-circuit flows.
+
+Tables 5 and 6 consume the *same* generation run, and Tables 6 and 7
+share the conventional baseline; this module runs each flow at most once
+per process so the benchmark files stay cheap and mutually consistent.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..atpg.scan_seq import SecondApproachATPG, SecondApproachResult
+from ..core.pipeline import (
+    GenerationFlowResult,
+    TranslationFlowResult,
+    generation_flow,
+    translation_flow,
+)
+from . import suite
+
+_GENERATION: Dict[str, GenerationFlowResult] = {}
+_BASELINE: Dict[str, SecondApproachResult] = {}
+_TRANSLATION: Dict[str, TranslationFlowResult] = {}
+
+
+def generation_result(name: str, use_scan_knowledge: bool = True,
+                      use_justification: bool = True) -> GenerationFlowResult:
+    """Section 2+4 flow for one suite circuit (memoized for the default
+    knowledge settings)."""
+    cacheable = use_scan_knowledge and use_justification
+    if cacheable and name in _GENERATION:
+        return _GENERATION[name]
+    tier = suite.spec_of(name).tier
+    redundancy_limit = {"tiny": 20000, "small": 20000,
+                        "medium": 4000}.get(tier, 1500)
+    result = generation_flow(
+        suite.build_circuit(name),
+        seed=suite.circuit_seed(name),
+        config=suite.atpg_config_for(name),
+        use_scan_knowledge=use_scan_knowledge,
+        use_justification=use_justification,
+        redundancy_backtrack_limit=redundancy_limit,
+    )
+    if cacheable:
+        _GENERATION[name] = result
+    return result
+
+
+def baseline_result(name: str) -> SecondApproachResult:
+    """Conventional second-approach baseline for one suite circuit."""
+    if name not in _BASELINE:
+        _BASELINE[name] = SecondApproachATPG(
+            suite.build_circuit(name),
+            config=suite.baseline_config_for(name),
+        ).generate()
+    return _BASELINE[name]
+
+
+def translation_result(name: str) -> TranslationFlowResult:
+    """Section 3 flow for one suite circuit, sharing the baseline."""
+    if name not in _TRANSLATION:
+        _TRANSLATION[name] = translation_flow(
+            suite.build_circuit(name),
+            seed=suite.circuit_seed(name),
+            baseline=baseline_result(name),
+        )
+    return _TRANSLATION[name]
+
+
+def clear_caches() -> None:
+    """Drop memoized results (tests use this for isolation)."""
+    _GENERATION.clear()
+    _BASELINE.clear()
+    _TRANSLATION.clear()

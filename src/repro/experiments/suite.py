@@ -1,0 +1,302 @@
+"""The evaluation suite: circuit specifications matched to the paper.
+
+The paper evaluates on ISCAS-89 and ITC-99 circuits with scan chains
+inserted "in the order of the flip-flops in the circuit description".
+Except for ``s27`` (embedded exactly), those netlists are not
+redistributable here, so each paper circuit gets a **seeded synthetic
+stand-in** with
+
+* the same primary input count (the paper's ``inp`` column minus the two
+  scan lines),
+* the same number of state variables (``stvr``),
+* a gate count *calibrated* so the collapsed stuck-at fault count of the
+  scan-inserted stand-in lands near the paper's ``faults`` column.
+
+See DESIGN.md substitution 1 for why this preserves the claims under
+reproduction.  The paper's own per-circuit numbers (Tables 5, 6 and 7)
+are embedded below so every benchmark prints paper-vs-measured rows.
+
+Profiles
+--------
+Wall-clock on the large circuits is dominated by sequential fault
+simulation (inherently ~10^3 slower in Python than the authors' C).
+Three profiles pick how much of the suite runs:
+
+* ``quick``   — ``s27`` plus the smallest stand-ins (default for benches),
+* ``default`` — every circuit below ~2000 faults,
+* ``full``    — everything, including the s5378/s35932 classes.
+
+Select with the ``REPRO_SUITE`` environment variable or the ``profile``
+argument of the experiment runners.
+"""
+
+from __future__ import annotations
+
+import os
+import zlib
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..atpg.seq_atpg import SeqATPGConfig
+from ..atpg.scan_seq import SecondApproachConfig
+from ..circuit.library import s27
+from ..circuit.netlist import Circuit
+from ..circuit.scan import insert_scan
+from ..circuit.synth import random_circuit
+from ..faults.collapse import collapse_faults
+
+
+@dataclass(frozen=True)
+class CircuitSpec:
+    """One paper circuit: identity plus the paper's scale numbers."""
+
+    name: str
+    family: str            # "iscas89" or "itc99"
+    paper_inputs: int      # paper's `inp` (includes scan_sel + scan_inp)
+    paper_state_vars: int  # paper's `stvr`
+    paper_faults: int      # paper's `faults` (includes scan mux faults)
+    tier: str              # "tiny" | "small" | "medium" | "large" | "huge"
+
+    @property
+    def num_inputs(self) -> int:
+        """Primary inputs of the non-scan circuit."""
+        return self.paper_inputs - 2
+
+
+def _tier(faults: int) -> str:
+    if faults <= 300:
+        return "tiny"
+    if faults <= 700:
+        return "small"
+    if faults <= 2100:
+        return "medium"
+    if faults <= 10000:
+        return "large"
+    return "huge"
+
+
+def _spec(name: str, family: str, inp: int, stvr: int, faults: int) -> CircuitSpec:
+    return CircuitSpec(name, family, inp, stvr, faults, _tier(faults))
+
+
+#: Every circuit in the paper's Table 5, in its order.
+PAPER_CIRCUITS: Tuple[CircuitSpec, ...] = (
+    _spec("s208", "iscas89", 13, 8, 267),
+    _spec("s298", "iscas89", 5, 14, 398),
+    _spec("s344", "iscas89", 11, 15, 452),
+    _spec("s382", "iscas89", 5, 21, 541),
+    _spec("s386", "iscas89", 9, 6, 424),
+    _spec("s400", "iscas89", 5, 21, 566),
+    _spec("s420", "iscas89", 21, 16, 530),
+    _spec("s444", "iscas89", 5, 21, 616),
+    _spec("s510", "iscas89", 21, 6, 604),
+    _spec("s526", "iscas89", 5, 21, 687),
+    _spec("s641", "iscas89", 37, 19, 623),
+    _spec("s820", "iscas89", 20, 5, 884),
+    _spec("s953", "iscas89", 18, 29, 1299),
+    _spec("s1196", "iscas89", 16, 18, 1374),
+    _spec("s1423", "iscas89", 19, 74, 1987),
+    _spec("s1488", "iscas89", 10, 6, 1526),
+    _spec("s5378", "iscas89", 37, 179, 5797),
+    _spec("s35932", "iscas89", 37, 1728, 49466),
+    _spec("b01", "itc99", 5, 5, 169),
+    _spec("b02", "itc99", 4, 4, 96),
+    _spec("b03", "itc99", 7, 30, 636),
+    _spec("b04", "itc99", 14, 66, 1746),
+    _spec("b06", "itc99", 5, 9, 268),
+    _spec("b09", "itc99", 4, 28, 592),
+    _spec("b10", "itc99", 14, 17, 618),
+    _spec("b11", "itc99", 10, 30, 1273),
+)
+
+SPEC_BY_NAME: Dict[str, CircuitSpec] = {s.name: s for s in PAPER_CIRCUITS}
+
+#: Table 5 reference values: name -> (detected_total, fcov, funct).
+PAPER_TABLE5: Dict[str, Tuple[int, float, int]] = {
+    "s208": (266, 99.63, 0), "s298": (398, 100.00, 3), "s344": (452, 100.00, 0),
+    "s382": (535, 98.89, 6), "s386": (424, 100.00, 0), "s400": (555, 98.06, 6),
+    "s420": (523, 98.68, 3), "s444": (598, 97.08, 12), "s510": (603, 99.83, 0),
+    "s526": (673, 97.96, 20), "s641": (619, 99.36, 0), "s820": (868, 98.19, 0),
+    "s953": (1298, 99.92, 30), "s1196": (1368, 99.56, 5),
+    "s1423": (1947, 97.99, 34), "s1488": (1525, 99.93, 0),
+    "s5378": (5381, 92.82, 42), "s35932": (42847, 86.62, 3),
+    "b01": (169, 100.00, 0), "b02": (96, 100.00, 0), "b03": (633, 99.53, 35),
+    "b04": (1743, 99.83, 28), "b06": (268, 100.00, 0), "b09": (587, 99.16, 35),
+    "b10": (617, 99.84, 6), "b11": (1254, 98.51, 22),
+}
+
+#: Table 6 reference values:
+#: name -> (test_total, test_scan, restor_total, restor_scan,
+#:          omit_total, omit_scan, ext_det, cyc26_or_None).
+PAPER_TABLE6: Dict[str, Tuple[int, int, int, int, int, int, int, Optional[int]]] = {
+    "s208": (194, 128, 155, 105, 140, 94, 0, None),
+    "s298": (215, 90, 177, 63, 161, 55, 0, 218),
+    "s344": (161, 89, 105, 56, 85, 48, 0, 98),
+    "s382": (811, 149, 551, 118, 378, 89, 3, 619),
+    "s386": (324, 157, 247, 121, 216, 108, 0, None),
+    "s400": (766, 154, 561, 119, 396, 102, 2, 587),
+    "s420": (1353, 1238, 550, 479, 408, 363, 0, None),
+    "s444": (750, 286, 480, 185, 450, 175, 2, None),
+    "s510": (278, 159, 237, 128, 210, 123, 0, None),
+    "s526": (1727, 703, 969, 414, 726, 316, 2, 1091),
+    "s641": (605, 451, 255, 179, 239, 173, 0, 302),
+    "s820": (550, 283, 443, 229, 347, 183, 4, 367),
+    "s953": (1029, 826, 448, 289, 329, 210, 0, None),
+    "s1196": (928, 613, 295, 179, 262, 155, 0, None),
+    "s1423": (3148, 2360, 1229, 1011, 1127, 953, 6, 1816),
+    "s1488": (548, 280, 470, 235, 416, 211, 0, 416),
+    "s5378": (5381, 4594, 2858, 2601, 2721, 2487, 57, 18585),
+    "s35932": (634, 518, 634, 518, 634, 518, 0, 3561),
+    "b01": (192, 79, 123, 49, 89, 37, 0, 61),
+    "b02": (110, 37, 73, 24, 52, 17, 0, 35),
+    "b03": (1311, 1152, 405, 336, 347, 288, 0, 588),
+    "b04": (1770, 1465, 860, 671, 715, 606, 0, 1066),
+    "b06": (140, 41, 110, 34, 72, 28, 0, 64),
+    "b09": (2026, 1842, 789, 699, 716, 635, 0, 573),
+    "b10": (959, 741, 378, 272, 330, 252, 0, 427),
+    "b11": (1797, 1337, 1047, 758, 789, 584, 1, 986),
+}
+
+#: Table 7 reference values:
+#: name -> (test_total, test_scan, restor_total, restor_scan,
+#:          omit_total, omit_scan, cyc26).
+PAPER_TABLE7: Dict[str, Tuple[int, int, int, int, int, int, int]] = {
+    "s298": (218, 140, 190, 112, 172, 101, 218),
+    "s344": (98, 60, 65, 28, 65, 28, 98),
+    "s382": (619, 231, 534, 147, 483, 125, 619),
+    "s400": (587, 231, 455, 173, 364, 148, 587),
+    "s526": (1091, 546, 870, 446, 798, 387, 1091),
+    "s641": (302, 209, 240, 161, 190, 137, 302),
+    "s820": (367, 90, 350, 85, 327, 78, 367),
+    "s1423": (1816, 888, 1402, 800, 1318, 775, 1816),
+    "s1488": (416, 120, 385, 105, 359, 97, 416),
+    "s5378": (18585, 17900, 11959, 11832, 11626, 11501, 18585),
+    "b01": (61, 10, 56, 9, 56, 9, 61),
+    "b02": (35, 12, 34, 11, 33, 10, 35),
+    "b03": (588, 480, 421, 345, 366, 307, 588),
+    "b04": (1066, 924, 708, 570, 671, 540, 1066),
+    "b06": (64, 36, 62, 34, 60, 33, 64),
+    "b09": (573, 364, 438, 242, 405, 211, 573),
+    "b10": (427, 306, 346, 226, 323, 204, 427),
+    "b11": (986, 480, 681, 354, 662, 339, 986),
+}
+
+#: Circuits per profile.
+PROFILES: Dict[str, Tuple[str, ...]] = {
+    "quick": ("s27", "b01", "b02", "s208", "b06", "s298", "s386"),
+    "default": tuple(
+        ["s27"] + [s.name for s in PAPER_CIRCUITS if s.tier in
+                   ("tiny", "small", "medium")]
+    ),
+    "full": tuple(["s27"] + [s.name for s in PAPER_CIRCUITS]),
+}
+
+#: s27 is not in the paper's Table 5; give it a spec for uniform handling.
+S27_SPEC = CircuitSpec("s27", "iscas89", 6, 3, 54, "tiny")
+
+
+def active_profile(profile: Optional[str] = None) -> str:
+    """Resolve a profile name: explicit argument, then ``REPRO_SUITE``
+    environment variable, then ``quick``."""
+    chosen = profile or os.environ.get("REPRO_SUITE", "quick")
+    if chosen not in PROFILES:
+        raise ValueError(f"unknown profile {chosen!r}; pick from {sorted(PROFILES)}")
+    return chosen
+
+
+def suite_circuits(profile: Optional[str] = None) -> List[str]:
+    """Circuit names in the resolved profile."""
+    return list(PROFILES[active_profile(profile)])
+
+
+def circuit_seed(name: str) -> int:
+    """Stable per-circuit seed (CRC of the name)."""
+    return zlib.crc32(name.encode()) & 0x7FFFFFFF
+
+
+_CALIBRATION_CACHE: Dict[str, Circuit] = {}
+
+
+def build_circuit(name: str) -> Circuit:
+    """Build the evaluation circuit for ``name``.
+
+    ``s27`` loads the exact published netlist.  Everything else returns
+    the calibrated synthetic stand-in (cached per process; fully
+    deterministic across processes).
+    """
+    if name == "s27":
+        return s27()
+    if name in _CALIBRATION_CACHE:
+        return _CALIBRATION_CACHE[name]
+    try:
+        spec = SPEC_BY_NAME[name]
+    except KeyError:
+        raise KeyError(f"unknown suite circuit {name!r}") from None
+    circuit = _calibrated_standin(spec)
+    _CALIBRATION_CACHE[name] = circuit
+    return circuit
+
+
+def _scan_fault_count(circuit: Circuit) -> int:
+    return len(collapse_faults(insert_scan(circuit).circuit))
+
+
+def _calibrated_standin(spec: CircuitSpec, tolerance: float = 0.04,
+                        max_rounds: int = 8) -> Circuit:
+    """Iterate the gate count until the scan-inserted stand-in's collapsed
+    fault count is within ``tolerance`` of the paper's ``faults``."""
+    seed = circuit_seed(spec.name)
+    target = spec.paper_faults
+    # Collapsed faults per gate hover near 4; the loop corrects quickly.
+    gates = max(spec.paper_state_vars, round(target / 4.3))
+    best: Tuple[float, Circuit] = None  # (relative error, circuit)
+    for _round in range(max_rounds):
+        candidate = random_circuit(
+            spec.name, spec.num_inputs, spec.paper_state_vars, gates, seed=seed
+        )
+        measured = _scan_fault_count(candidate)
+        error = abs(measured - target) / target
+        if best is None or error < best[0]:
+            best = (error, candidate)
+        if error <= tolerance:
+            break
+        gates = max(spec.paper_state_vars,
+                    round(gates * target / max(measured, 1)))
+    return best[1]
+
+
+def spec_of(name: str) -> CircuitSpec:
+    """Spec for any suite circuit, including the extra ``s27``."""
+    if name == "s27":
+        return S27_SPEC
+    return SPEC_BY_NAME[name]
+
+
+def atpg_config_for(name: str, seed_offset: int = 0) -> SeqATPGConfig:
+    """Search-effort preset scaled to circuit tier."""
+    tier = spec_of(name).tier
+    seed = circuit_seed(name) ^ seed_offset
+    if tier in ("tiny", "small"):
+        return SeqATPGConfig(seed=seed)
+    if tier == "medium":
+        return SeqATPGConfig(
+            seed=seed, initial_random_vectors=128,
+            candidates_per_step=6, max_subseq_len=32, restarts=1,
+        )
+    return SeqATPGConfig(
+        seed=seed, initial_random_vectors=256,
+        candidates_per_step=4, max_subseq_len=24, restarts=1,
+    )
+
+
+def baseline_config_for(name: str, seed_offset: int = 0) -> SecondApproachConfig:
+    """Baseline generator preset scaled to circuit tier."""
+    tier = spec_of(name).tier
+    seed = circuit_seed(name) ^ seed_offset
+    if tier in ("tiny", "small"):
+        return SecondApproachConfig(seed=seed)
+    if tier == "medium":
+        return SecondApproachConfig(seed=seed, candidates_per_step=4,
+                                    max_test_length=8)
+    return SecondApproachConfig(seed=seed, candidates_per_step=3,
+                                max_test_length=6)

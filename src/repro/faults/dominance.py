@@ -1,0 +1,94 @@
+"""Dominance-based fault collapsing (target-list reduction).
+
+Fault ``f`` *dominates* fault ``g`` when every test detecting ``g`` also
+detects ``f``.  For target selection the dominating fault never needs to
+be attacked explicitly: generating a test for ``g`` covers ``f`` for
+free.  The classic single-gate rules (``c`` = controlling value):
+
+==========  ==========================================================
+gate        dominating output fault (droppable from the target list)
+==========  ==========================================================
+AND         output SA1 — dominated by every input SA1
+NAND        output SA0 — dominated by every input SA1
+OR          output SA0 — dominated by every input SA0
+NOR         output SA1 — dominated by every input SA0
+==========  ==========================================================
+
+Unlike equivalence collapsing, dominance is asymmetric: dropping the
+dominating fault is only safe for *test generation*, not for coverage
+accounting (an abort on the dominated fault says nothing about the
+dominating one).  The ATPG engines therefore use
+:func:`dominance_reduce` to order/shrink their target lists while the
+simulators keep scoring the full equivalence-collapsed universe.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..circuit.netlist import Circuit
+from .collapse import equivalence_classes
+from .model import Fault, stem_fault
+
+#: gate kind -> stuck value of the droppable output fault.
+_DROPPABLE_OUTPUT_VALUE = {"AND": 1, "NAND": 0, "OR": 0, "NOR": 1}
+
+#: gate kind -> stuck value of the dominating *input* faults.
+_DOMINATED_INPUT_VALUE = {"AND": 1, "NAND": 1, "OR": 0, "NOR": 0}
+
+
+def dominance_reduce(
+    circuit: Circuit,
+    faults: Optional[Iterable[Fault]] = None,
+) -> Tuple[List[Fault], Dict[Fault, Fault]]:
+    """Shrink a target list by single-gate dominance.
+
+    ``faults`` defaults to the equivalence-collapsed universe.  Returns
+    ``(targets, covered_by)`` where ``targets`` preserves input order
+    minus the dropped faults and ``covered_by`` maps each dropped fault
+    to one representative whose detection implies it.
+
+    A droppable output fault is only dropped when at least one of its
+    dominating input faults is itself present (as an equivalence-class
+    representative) in the list — otherwise nothing would guarantee
+    coverage.
+    """
+    if faults is None:
+        from .collapse import collapse_faults
+
+        faults = collapse_faults(circuit)
+    fault_list = list(faults)
+    present = set(fault_list)
+    mapping = equivalence_classes(circuit)
+
+    covered_by: Dict[Fault, Fault] = {}
+    for gate in circuit.gates:
+        value = _DROPPABLE_OUTPUT_VALUE.get(gate.kind)
+        if value is None or len(gate.inputs) < 2:
+            continue
+        output_fault = stem_fault(gate.output, value)
+        representative = mapping.get(output_fault)
+        if representative is None or representative not in present:
+            continue
+        if representative in covered_by:
+            continue
+        input_value = _DOMINATED_INPUT_VALUE[gate.kind]
+        for pin, net in enumerate(gate.inputs):
+            candidate = _input_fault(circuit, gate.output, pin, net, input_value)
+            candidate_rep = mapping.get(candidate)
+            if candidate_rep is not None and candidate_rep in present \
+                    and candidate_rep != representative:
+                covered_by[representative] = candidate_rep
+                break
+
+    targets = [f for f in fault_list if f not in covered_by]
+    return targets, covered_by
+
+
+def _input_fault(circuit: Circuit, consumer: str, pin: int, net: str,
+                 stuck_at: int) -> Fault:
+    from .model import branch_fault
+
+    if circuit.fanout_count(net) > 1:
+        return branch_fault(net, consumer, pin, stuck_at)
+    return stem_fault(net, stuck_at)

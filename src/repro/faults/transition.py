@@ -1,0 +1,73 @@
+"""Transition (gross-delay) fault model.
+
+The paper's baseline [26] targets *at-speed* testing; the fault model of
+at-speed testing is the transition fault: a net so slow to rise (or
+fall) that, for one clock cycle after it should have switched, it still
+shows the old value.  Detection needs a two-cycle pattern — launch a
+transition at the site, capture its effect — which is why conventional
+scan flows pay double scan cost for them, and why the paper's view
+(scan cycles are just cycles; any consecutive vectors can launch and
+capture) is such a natural fit.
+
+The model here is the standard gross-delay abstraction:
+
+* ``slow-to-rise`` on net ``n``: whenever the *faulty machine*'s value of
+  ``n`` would switch 0 -> 1, it stays 0 for that cycle;
+* ``slow-to-fall``: symmetric, 1 -> 0 stays 1.
+
+Unknown (X) previous values never launch — a transition must be *known*
+to have happened, matching the pessimistic 3-valued detection criterion
+used everywhere else in this package.  Sites are net stems (the usual
+TDF universe: two faults per net).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from ..circuit.netlist import Circuit
+
+RISE = "rise"
+FALL = "fall"
+
+
+@dataclass(frozen=True, order=True)
+class TransitionFault:
+    """A slow-to-rise or slow-to-fall fault on one net stem."""
+
+    net: str
+    slow_to: str  # RISE or FALL
+
+    def __post_init__(self):
+        if self.slow_to not in (RISE, FALL):
+            raise ValueError(f"slow_to must be 'rise' or 'fall', "
+                             f"got {self.slow_to!r}")
+
+    def __str__(self) -> str:
+        return f"{self.net}/STR" if self.slow_to == RISE else f"{self.net}/STF"
+
+    @property
+    def held_value(self) -> int:
+        """The stale value the site holds during a blocked transition."""
+        return 0 if self.slow_to == RISE else 1
+
+
+def slow_to_rise(net: str) -> TransitionFault:
+    """Convenience constructor for a slow-to-rise fault."""
+    return TransitionFault(net=net, slow_to=RISE)
+
+
+def slow_to_fall(net: str) -> TransitionFault:
+    """Convenience constructor for a slow-to-fall fault."""
+    return TransitionFault(net=net, slow_to=FALL)
+
+
+def enumerate_transition_faults(circuit: Circuit) -> List[TransitionFault]:
+    """The full TDF universe: slow-to-rise and slow-to-fall on every
+    driven net, in deterministic order."""
+    faults: List[TransitionFault] = []
+    for net in circuit.nets():
+        faults.append(slow_to_rise(net))
+        faults.append(slow_to_fall(net))
+    return faults

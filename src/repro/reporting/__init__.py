@@ -1,0 +1,5 @@
+"""Plain-text reporting helpers for the experiment tables."""
+
+from .tables import format_table
+
+__all__ = ["format_table"]

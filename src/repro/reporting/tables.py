@@ -1,0 +1,51 @@
+"""Plain-text table rendering in the style of the paper's tables.
+
+Deliberately dependency-free: benchmarks print through this so that
+``pytest benchmarks/ --benchmark-only`` output can be eyeballed against
+the paper's Tables 1-7 directly.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: Optional[str] = None,
+    align_left: Sequence[int] = (0,),
+) -> str:
+    """Fixed-width table.  ``align_left`` lists left-aligned column
+    indices (circuit names, usually); everything else is right-aligned.
+    """
+    materialized: List[List[str]] = [[_cell(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in materialized:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def render(cells: Sequence[str]) -> str:
+        parts = []
+        for i, cell in enumerate(cells):
+            if i in align_left:
+                parts.append(cell.ljust(widths[i]))
+            else:
+                parts.append(cell.rjust(widths[i]))
+        return "  ".join(parts).rstrip()
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(render(list(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    lines.extend(render(row) for row in materialized)
+    return "\n".join(lines)
+
+
+def _cell(value: object) -> str:
+    if value is None:
+        return "NA"
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)

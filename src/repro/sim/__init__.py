@@ -1,0 +1,16 @@
+"""Simulation substrate: scalar reference logic simulation and the
+bit-parallel sequential stuck-at fault simulator."""
+
+from .fault_sim import FaultSimResult, PackedFaultSimulator
+from .logic_sim import LogicSimulator, vector_from_string
+from .pattern_sim import PackedPatternSimulator
+from .transition_sim import PackedTransitionSimulator
+
+__all__ = [
+    "LogicSimulator",
+    "vector_from_string",
+    "PackedFaultSimulator",
+    "FaultSimResult",
+    "PackedPatternSimulator",
+    "PackedTransitionSimulator",
+]

@@ -1,0 +1,479 @@
+"""Bit-parallel (packed) sequential stuck-at fault simulator.
+
+This is the workhorse of the whole reproduction: test generation,
+translation verification, restoration and omission compaction all reduce
+to "simulate this sequence against these faults".  Sequential fault
+simulation in pure Python is only viable bit-parallel, so every net
+carries a pair of arbitrary-precision integers ``(ones, zeros)``; bit
+``f`` of each plane belongs to machine ``f``:
+
+* machine 0 is the **fault-free** circuit,
+* machine ``f >= 1`` simulates single fault ``faults[f-1]``.
+
+A 5000-fault circuit therefore simulates 5001 machines per gate
+evaluation at the cost of a handful of bitwise operations on ~80-word
+integers — the classic parallel-fault scheme of Seshu, generalized to
+three-valued logic.
+
+Fault injection
+---------------
+Faults are compiled to per-site masks and *forced* at the right moment:
+
+* PI / gate-output / flip-flop-output **stem** faults — applied when the
+  net value is produced (PI load, gate evaluation, state read),
+* gate-input / flip-flop-D / primary-output **branch** faults — applied
+  on the consumer side only, leaving the stem value intact for the other
+  branches (exact fanout-branch semantics).
+
+Detection
+---------
+Fault ``f`` is detected at cycle ``t`` when some primary output has a
+*binary* fault-free value and machine ``f`` asserts the opposite binary
+value in the same cycle.  An X in either machine never counts — the
+standard pessimistic (guaranteed-detection) criterion.
+
+Flip-flops power up to X in every machine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..circuit.gates import ONE, X, ZERO
+from ..circuit.netlist import Circuit
+from ..faults.model import BRANCH, STEM, Fault
+from .logic_sim import vector_from_string
+
+# Gate kind codes for the dispatch in the inner loop.
+_AND, _NAND, _OR, _NOR, _NOT, _BUF, _XOR, _XNOR, _MUX = range(9)
+_KIND_CODE = {
+    "AND": _AND, "NAND": _NAND, "OR": _OR, "NOR": _NOR,
+    "NOT": _NOT, "BUF": _BUF, "XOR": _XOR, "XNOR": _XNOR, "MUX": _MUX,
+}
+
+
+@dataclass
+class FaultSimResult:
+    """Outcome of simulating one test sequence against a fault list."""
+
+    faults: List[Fault]
+    detection_time: Dict[Fault, int] = field(default_factory=dict)
+    num_vectors: int = 0
+
+    @property
+    def detected(self) -> List[Fault]:
+        return [f for f in self.faults if f in self.detection_time]
+
+    @property
+    def undetected(self) -> List[Fault]:
+        return [f for f in self.faults if f not in self.detection_time]
+
+    def coverage(self) -> float:
+        """Fault coverage in percent (paper's ``fcov`` column)."""
+        if not self.faults:
+            return 100.0
+        return 100.0 * len(self.detection_time) / len(self.faults)
+
+
+class PackedFaultSimulator:
+    """Parallel-fault three-valued sequential fault simulator.
+
+    Parameters
+    ----------
+    circuit:
+        The circuit to simulate (typically ``C_scan``).
+    faults:
+        Faults to pack, one machine each.  Order defines bit positions
+        (bit ``i + 1`` simulates ``faults[i]``).
+
+    The simulator is stateful across :meth:`step` calls; call
+    :meth:`reset` between sequences.
+    """
+
+    def __init__(self, circuit: Circuit, faults: Sequence[Fault]):
+        self.circuit = circuit
+        self.faults = list(faults)
+        self.num_machines = len(self.faults) + 1
+        self.full_mask = (1 << self.num_machines) - 1
+        self.fault_mask = self.full_mask & ~1  # every machine except fault-free
+
+        nets = circuit.nets()
+        index = {net: i for i, net in enumerate(nets)}
+        self._index = index
+        self._pi = [(index[n], n) for n in circuit.inputs]
+        self._po = [(index[n], f"PO:{n}") for n in circuit.outputs]
+        self._flop_q = [index[f.q] for f in circuit.flops]
+        self._flop_d = [(index[f.d], f.q) for f in circuit.flops]
+
+        stem_masks, branch_masks = self._compile_masks(index)
+        self._pi_masks = [stem_masks.get(n) for _i, n in self._pi]
+        self._po_masks = [branch_masks.get((po, 0)) for _i, po in self._po]
+        self._flop_q_masks = [stem_masks.get(f.q) for f in circuit.flops]
+        self._flop_d_masks = [branch_masks.get((f.q, 0)) for f in circuit.flops]
+
+        gates = []
+        for gate in circuit.topo_gates:
+            in_masks = tuple(
+                branch_masks.get((gate.output, pin))
+                for pin in range(len(gate.inputs))
+            )
+            gates.append((
+                _KIND_CODE[gate.kind],
+                index[gate.output],
+                tuple(index[n] for n in gate.inputs),
+                in_masks if any(m is not None for m in in_masks) else None,
+                stem_masks.get(gate.output),
+            ))
+        self._gates = gates
+
+        self._ones = [0] * len(nets)
+        self._zeros = [0] * len(nets)
+        self._state: List[Tuple[int, int]] = [(0, 0)] * len(circuit.flops)
+        self.time = 0
+
+    # -- construction ----------------------------------------------------------
+
+    def _compile_masks(self, index):
+        """Build injection masks: stem masks by net, branch masks by
+        (consumer, pin).  Each mask is ``(force_ones, force_zeros)``."""
+        stem: Dict[str, List[int]] = {}
+        branch: Dict[Tuple[str, int], List[int]] = {}
+        for position, fault in enumerate(self.faults):
+            bit = 1 << (position + 1)
+            if fault.kind == STEM:
+                if fault.net not in index:
+                    raise ValueError(f"fault on unknown net: {fault}")
+                entry = stem.setdefault(fault.net, [0, 0])
+            elif fault.kind == BRANCH:
+                entry = branch.setdefault((fault.consumer, fault.pin), [0, 0])
+            else:  # pragma: no cover - Fault validates kinds
+                raise ValueError(f"bad fault kind {fault.kind!r}")
+            # entry[0] accumulates force-to-1 bits (SA1 faults),
+            # entry[1] accumulates force-to-0 bits (SA0 faults).
+            entry[fault.stuck_at ^ 1] |= bit
+        stem_masks = {net: (m[0], m[1]) for net, m in stem.items()}
+        branch_masks = {key: (m[0], m[1]) for key, m in branch.items()}
+        return stem_masks, branch_masks
+
+    # -- state -----------------------------------------------------------------
+
+    def reset(self) -> None:
+        """All flip-flops back to X in every machine; time to 0."""
+        self._state = [(0, 0)] * len(self._state)
+        self.time = 0
+
+    def load_state(self, values: Sequence[int]) -> None:
+        """Force an identical binary/X state into every machine (used by
+        tests and by scan-based tooling that models a known state)."""
+        if len(values) != len(self._state):
+            raise ValueError(f"need {len(self._state)} state values")
+        full = self.full_mask
+        table = {ZERO: (0, full), ONE: (full, 0), X: (0, 0)}
+        self._state = [table[v] for v in values]
+
+    def save_state(self):
+        """Snapshot the (packed) flip-flop state and time; the returned
+        token is opaque and only valid for this simulator instance."""
+        return (list(self._state), self.time)
+
+    def restore_state(self, token) -> None:
+        """Restore a snapshot taken by :meth:`save_state`."""
+        state, time = token
+        self._state = list(state)
+        self.time = time
+
+    def machine_state(self, machine: int) -> Tuple[int, ...]:
+        """Scalar flip-flop values of one machine (0 = fault-free)."""
+        bit = 1 << machine
+        result = []
+        for ones, zeros in self._state:
+            if ones & bit:
+                result.append(ONE)
+            elif zeros & bit:
+                result.append(ZERO)
+            else:
+                result.append(X)
+        return tuple(result)
+
+    def load_machine_states(self, states: Sequence[Sequence[int]]) -> None:
+        """Load a distinct scalar state per machine.
+
+        ``states[m]`` is the flip-flop state of machine ``m``; exactly
+        ``num_machines`` states are required.  Used to hand a fault's
+        accumulated sequential state from one simulator to another (e.g.
+        from the global fault-dropping simulator into a per-fault search
+        simulator).
+        """
+        if len(states) != self.num_machines:
+            raise ValueError(f"need {self.num_machines} per-machine states")
+        planes = []
+        for flop_index in range(len(self._state)):
+            ones = zeros = 0
+            for machine, state in enumerate(states):
+                value = state[flop_index]
+                if value == ONE:
+                    ones |= 1 << machine
+                elif value == ZERO:
+                    zeros |= 1 << machine
+            planes.append((ones, zeros))
+        self._state = planes
+
+    def good_state(self) -> Tuple[int, ...]:
+        """Fault-free flip-flop values (``ZERO``/``ONE``/``X``)."""
+        result = []
+        for ones, zeros in self._state:
+            if ones & 1:
+                result.append(ONE)
+            elif zeros & 1:
+                result.append(ZERO)
+            else:
+                result.append(X)
+        return tuple(result)
+
+    def ff_effect_masks(self) -> List[int]:
+        """Per flip-flop: mask of machines holding the *opposite binary*
+        value of the fault-free machine.
+
+        This is the "fault effect reached flip-flop i" predicate of
+        Section 2: a fault whose bit is set here would be observed if the
+        chain were scanned out starting now.
+        """
+        result = []
+        for ones, zeros in self._state:
+            if ones & 1:
+                result.append(zeros & self.fault_mask)
+            elif zeros & 1:
+                result.append(ones & self.fault_mask)
+            else:
+                result.append(0)
+        return result
+
+    # -- simulation --------------------------------------------------------------
+
+    def step(self, vector: Sequence[int]) -> int:
+        """Apply one vector; return the mask of machines detected this cycle.
+
+        The returned mask has bit ``f`` set when machine ``f`` produced a
+        binary value opposite to the fault-free machine on some primary
+        output this cycle.  Bit 0 is never set.  Flip-flops advance.
+        """
+        if isinstance(vector, str):
+            vector = vector_from_string(vector)
+        ones = self._ones
+        zeros = self._zeros
+        full = self.full_mask
+
+        for (idx, _name), mask, value in zip(self._pi, self._pi_masks, vector):
+            if value == ONE:
+                o, z = full, 0
+            elif value == ZERO:
+                o, z = 0, full
+            else:
+                o, z = 0, 0
+            if mask is not None:
+                m1, m0 = mask
+                o = (o | m1) & ~m0
+                z = (z | m0) & ~m1
+            ones[idx] = o
+            zeros[idx] = z
+
+        for idx, mask, (so, sz) in zip(self._flop_q, self._flop_q_masks, self._state):
+            if mask is not None:
+                m1, m0 = mask
+                so = (so | m1) & ~m0
+                sz = (sz | m0) & ~m1
+            ones[idx] = so
+            zeros[idx] = sz
+
+        for code, out_idx, in_idx, in_masks, out_mask in self._gates:
+            if in_masks is None:
+                if code == _NOT:
+                    o, z = zeros[in_idx[0]], ones[in_idx[0]]
+                elif code <= _NAND:  # AND / NAND
+                    o, z = full, 0
+                    for i in in_idx:
+                        o &= ones[i]
+                        z |= zeros[i]
+                    o &= ~z
+                    if code == _NAND:
+                        o, z = z, o
+                elif code <= _NOR:  # OR / NOR
+                    o, z = 0, full
+                    for i in in_idx:
+                        o |= ones[i]
+                        z &= zeros[i]
+                    z &= ~o
+                    if code == _NOR:
+                        o, z = z, o
+                elif code == _BUF:
+                    o, z = ones[in_idx[0]], zeros[in_idx[0]]
+                elif code == _MUX:
+                    s, d0, d1 = in_idx
+                    s1, s0 = ones[s], zeros[s]
+                    a1, a0 = ones[d0], zeros[d0]
+                    b1, b0 = ones[d1], zeros[d1]
+                    o = (s0 & a1) | (s1 & b1) | (a1 & b1)
+                    z = (s0 & a0) | (s1 & b0) | (a0 & b0)
+                else:  # XOR / XNOR
+                    o, z = ones[in_idx[0]], zeros[in_idx[0]]
+                    for i in in_idx[1:]:
+                        b1, b0 = ones[i], zeros[i]
+                        o, z = (o & b0) | (z & b1), (o & b1) | (z & b0)
+                    if code == _XNOR:
+                        o, z = z, o
+            else:
+                values = []
+                for pin, i in enumerate(in_idx):
+                    v1, v0 = ones[i], zeros[i]
+                    mask = in_masks[pin]
+                    if mask is not None:
+                        m1, m0 = mask
+                        v1 = (v1 | m1) & ~m0
+                        v0 = (v0 | m0) & ~m1
+                    values.append((v1, v0))
+                o, z = _eval_packed(code, values, full)
+
+            if out_mask is not None:
+                m1, m0 = out_mask
+                o = (o | m1) & ~m0
+                z = (z | m0) & ~m1
+            ones[out_idx] = o
+            zeros[out_idx] = z
+
+        detected = 0
+        for (idx, _po), mask in zip(self._po, self._po_masks):
+            o, z = ones[idx], zeros[idx]
+            if mask is not None:
+                m1, m0 = mask
+                o = (o | m1) & ~m0
+                z = (z | m0) & ~m1
+            if o & 1:
+                detected |= z
+            elif z & 1:
+                detected |= o
+
+        new_state = []
+        for (d_idx, _q), mask in zip(self._flop_d, self._flop_d_masks):
+            v1, v0 = ones[d_idx], zeros[d_idx]
+            if mask is not None:
+                m1, m0 = mask
+                v1 = (v1 | m1) & ~m0
+                v0 = (v0 | m0) & ~m1
+            new_state.append((v1, v0))
+        self._state = new_state
+        self.time += 1
+        return detected & self.fault_mask
+
+    def good_net_value(self, net: str) -> int:
+        """Fault-free value of ``net`` as of the last :meth:`step`."""
+        idx = self._index[net]
+        if self._ones[idx] & 1:
+            return ONE
+        if self._zeros[idx] & 1:
+            return ZERO
+        return X
+
+    def net_effect_mask(self, net: str) -> int:
+        """Machines whose value at ``net`` is the opposite binary value of
+        the fault-free machine (as of the last :meth:`step`)."""
+        idx = self._index[net]
+        ones, zeros = self._ones[idx], self._zeros[idx]
+        if ones & 1:
+            return zeros & self.fault_mask
+        if zeros & 1:
+            return ones & self.fault_mask
+        return 0
+
+    def good_outputs(self) -> Tuple[int, ...]:
+        """Fault-free primary output values of the *last* :meth:`step`."""
+        result = []
+        for idx, _po in self._po:
+            if self._ones[idx] & 1:
+                result.append(ONE)
+            elif self._zeros[idx] & 1:
+                result.append(ZERO)
+            else:
+                result.append(X)
+        return tuple(result)
+
+    def run(
+        self,
+        vectors: Iterable[Sequence[int]],
+        stop_when_all_detected: bool = False,
+        reset: bool = True,
+    ) -> FaultSimResult:
+        """Simulate a whole sequence; record first-detection times.
+
+        ``stop_when_all_detected`` ends the run early once every packed
+        fault has been observed (used by detection oracles in compaction,
+        where only a target subset matters).
+        """
+        if reset:
+            self.reset()
+        result = FaultSimResult(faults=list(self.faults))
+        remaining = self.fault_mask
+        for t, vector in enumerate(vectors):
+            newly = self.step(vector) & remaining
+            if newly:
+                remaining &= ~newly
+                for position, fault in enumerate(self.faults):
+                    bit = 1 << (position + 1)
+                    if newly & bit:
+                        result.detection_time[fault] = t
+            result.num_vectors = t + 1
+            if stop_when_all_detected and remaining == 0:
+                break
+        return result
+
+    def detects_all(self, vectors: Sequence[Sequence[int]]) -> bool:
+        """True when the sequence detects *every* packed fault."""
+        self.reset()
+        remaining = self.fault_mask
+        for vector in vectors:
+            remaining &= ~self.step(vector)
+            if remaining == 0:
+                return True
+        return remaining == 0
+
+    def faults_from_mask(self, mask: int) -> List[Fault]:
+        """Decode a detection mask into the fault objects it covers."""
+        return [
+            fault
+            for position, fault in enumerate(self.faults)
+            if mask & (1 << (position + 1))
+        ]
+
+
+def _eval_packed(code: int, values, full: int):
+    """Out-of-line packed evaluation for the (rare) gates with injected
+    input-branch faults; mirrors the inlined fast paths in ``step``."""
+    if code == _NOT:
+        return values[0][1], values[0][0]
+    if code == _BUF:
+        return values[0]
+    if code in (_AND, _NAND):
+        o, z = full, 0
+        for v1, v0 in values:
+            o &= v1
+            z |= v0
+        o &= ~z
+        return (z, o) if code == _NAND else (o, z)
+    if code in (_OR, _NOR):
+        o, z = 0, full
+        for v1, v0 in values:
+            o |= v1
+            z &= v0
+        z &= ~o
+        return (z, o) if code == _NOR else (o, z)
+    if code in (_XOR, _XNOR):
+        o, z = values[0]
+        for b1, b0 in values[1:]:
+            o, z = (o & b0) | (z & b1), (o & b1) | (z & b0)
+        return (z, o) if code == _XNOR else (o, z)
+    if code == _MUX:
+        (s1, s0), (a1, a0), (b1, b0) = values
+        o = (s0 & a1) | (s1 & b1) | (a1 & b1)
+        z = (s0 & a0) | (s1 & b0) | (a0 & b0)
+        return o, z
+    raise ValueError(f"bad gate code {code}")

@@ -1,0 +1,101 @@
+"""Scalar three-valued (0/1/X) sequential logic simulator.
+
+This is the *reference* good-machine simulator: one value per net, no
+fault machinery.  It exists for three reasons:
+
+1. a readable executable specification that the packed fault simulator is
+   tested against (they must agree on the fault-free machine),
+2. cheap fault-free runs for tools that only need good values (test
+   generation heuristics, expected-response computation),
+3. an inspection-friendly API (``net_values``) for examples and debugging.
+
+Flip-flops power up to X, as the paper (and all sequential ATPG work)
+assumes; a test sequence must itself synchronize the circuit.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..circuit.gates import X, eval_gate, value_from_char
+from ..circuit.netlist import Circuit
+
+
+def vector_from_string(text: str) -> Tuple[int, ...]:
+    """Parse a vector like ``"01x1"`` into scalar values (spaces ignored)."""
+    return tuple(value_from_char(c) for c in text if not c.isspace())
+
+
+class LogicSimulator:
+    """Cycle-accurate three-valued simulator for a :class:`Circuit`.
+
+    The simulator is stateful: :meth:`step` applies one primary input
+    vector, returns the primary output values observed *in that cycle*
+    (before the clock edge), and then advances the flip-flops.
+    """
+
+    def __init__(self, circuit: Circuit):
+        self.circuit = circuit
+        nets = circuit.nets()
+        self._index: Dict[str, int] = {net: i for i, net in enumerate(nets)}
+        self._values: List[int] = [X] * len(nets)
+        self._pi_idx = [self._index[n] for n in circuit.inputs]
+        self._po_idx = [self._index[n] for n in circuit.outputs]
+        self._gates = [
+            (g.kind, self._index[g.output], tuple(self._index[i] for i in g.inputs))
+            for g in circuit.topo_gates
+        ]
+        self._flops = [(self._index[f.q], self._index[f.d]) for f in circuit.flops]
+        self._state: List[int] = [X] * len(self._flops)
+
+    # -- state management ----------------------------------------------------
+
+    def reset(self, state: Optional[Sequence[int]] = None) -> None:
+        """Reset flip-flops to X, or to an explicit ``state`` (one value per
+        flip-flop, in circuit flip-flop order)."""
+        if state is None:
+            self._state = [X] * len(self._flops)
+        else:
+            if len(state) != len(self._flops):
+                raise ValueError(
+                    f"state needs {len(self._flops)} values, got {len(state)}"
+                )
+            self._state = list(state)
+
+    @property
+    def state(self) -> Tuple[int, ...]:
+        """Current flip-flop values (circuit flip-flop order)."""
+        return tuple(self._state)
+
+    # -- simulation -----------------------------------------------------------
+
+    def step(self, vector: Sequence[int]) -> Tuple[int, ...]:
+        """Apply one primary input vector; return primary output values.
+
+        ``vector`` is aligned with ``circuit.inputs``; values are
+        ``ZERO``/``ONE``/``X``.  Strings like ``"01x0"`` are accepted.
+        """
+        if isinstance(vector, str):
+            vector = vector_from_string(vector)
+        if len(vector) != len(self._pi_idx):
+            raise ValueError(
+                f"vector needs {len(self._pi_idx)} values, got {len(vector)}"
+            )
+        values = self._values
+        for idx, value in zip(self._pi_idx, vector):
+            values[idx] = value
+        for (q_idx, _d_idx), held in zip(self._flops, self._state):
+            values[q_idx] = held
+        for kind, out_idx, in_idx in self._gates:
+            values[out_idx] = eval_gate(kind, [values[i] for i in in_idx])
+        outputs = tuple(values[i] for i in self._po_idx)
+        self._state = [values[d_idx] for _q_idx, d_idx in self._flops]
+        return outputs
+
+    def run(self, vectors: Iterable[Sequence[int]]) -> List[Tuple[int, ...]]:
+        """Apply vectors in order; return the per-cycle output tuples."""
+        return [self.step(v) for v in vectors]
+
+    def net_values(self) -> Dict[str, int]:
+        """Values of every net as of the last :meth:`step` call."""
+        return {net: self._values[idx] for net, idx in self._index.items()}

@@ -1,0 +1,157 @@
+"""Pattern-parallel (PPSFP-style) fault-free simulation.
+
+The packed *fault* simulator spreads one input sequence across thousands
+of fault machines.  This module is its transpose: one fault-free circuit
+spread across many **independent runs** — bit ``p`` of every net belongs
+to pattern/run ``p``.  Combinationally this is classic parallel-pattern
+simulation; sequentially each run carries its own flip-flop state, so N
+whole test sequences advance in lockstep for the price of one.
+
+Uses inside this package and out:
+
+* evaluating many random-fill variants of an X-laden sequence at once
+  (the scan-aware verifier's retry loop, Monte-Carlo style),
+* computing expected responses for big pattern sets (export, golden
+  files),
+* cheap signature/toggle statistics across stimulus ensembles.
+
+The value encoding is the same two-plane scheme as the fault simulator
+(:mod:`repro.circuit.gates` documents it), so this module is little more
+than a differently-shaped driver around the same gate kernels — which is
+also how its correctness is tested (lockstep agreement with the scalar
+reference simulator on every lane).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from ..circuit.gates import ONE, X, ZERO, eval_gate_packed
+from ..circuit.netlist import Circuit
+
+
+class PackedPatternSimulator:
+    """Simulate ``width`` independent fault-free runs bit-parallel.
+
+    Vectors are supplied *per run*: :meth:`step` takes a list of
+    ``width`` scalar vectors (one per run) and advances every run one
+    clock cycle.  For purely combinational circuits the state handling
+    degenerates away and :meth:`evaluate` offers a one-shot API.
+    """
+
+    def __init__(self, circuit: Circuit, width: int):
+        if width < 1:
+            raise ValueError("need at least one pattern lane")
+        self.circuit = circuit
+        self.width = width
+        self.full_mask = (1 << width) - 1
+        nets = circuit.nets()
+        self._index = {net: i for i, net in enumerate(nets)}
+        self._pi_idx = [self._index[n] for n in circuit.inputs]
+        self._po_idx = [self._index[n] for n in circuit.outputs]
+        self._gates = [
+            (g.kind, self._index[g.output],
+             tuple(self._index[n] for n in g.inputs))
+            for g in circuit.topo_gates
+        ]
+        self._flops = [(self._index[f.q], self._index[f.d])
+                       for f in circuit.flops]
+        self._ones = [0] * len(nets)
+        self._zeros = [0] * len(nets)
+        self._state: List[Tuple[int, int]] = [(0, 0)] * len(self._flops)
+
+    # -- state ---------------------------------------------------------------
+
+    def reset(self) -> None:
+        """All flip-flops to X in every lane."""
+        self._state = [(0, 0)] * len(self._state)
+
+    def load_states(self, states: Sequence[Sequence[int]]) -> None:
+        """Load one scalar flip-flop state per lane."""
+        if len(states) != self.width:
+            raise ValueError(f"need {self.width} states")
+        packed = []
+        for flop_index in range(len(self._state)):
+            ones = zeros = 0
+            for lane, state in enumerate(states):
+                value = state[flop_index]
+                if value == ONE:
+                    ones |= 1 << lane
+                elif value == ZERO:
+                    zeros |= 1 << lane
+            packed.append((ones, zeros))
+        self._state = packed
+
+    def lane_state(self, lane: int) -> Tuple[int, ...]:
+        """Scalar flip-flop state of one lane."""
+        bit = 1 << lane
+        return tuple(
+            ONE if ones & bit else ZERO if zeros & bit else X
+            for ones, zeros in self._state
+        )
+
+    # -- simulation ------------------------------------------------------------
+
+    def _pack_column(self, vectors: Sequence[Sequence[int]], position: int):
+        ones = zeros = 0
+        for lane, vector in enumerate(vectors):
+            value = vector[position]
+            if value == ONE:
+                ones |= 1 << lane
+            elif value == ZERO:
+                zeros |= 1 << lane
+        return ones, zeros
+
+    def step(self, vectors: Sequence[Sequence[int]]) -> List[Tuple[int, ...]]:
+        """Advance every lane one cycle; ``vectors[p]`` drives lane ``p``.
+
+        Returns the primary output values per lane.
+        """
+        if len(vectors) != self.width:
+            raise ValueError(f"need {self.width} vectors, one per lane")
+        ones, zeros = self._ones, self._zeros
+        for position, idx in enumerate(self._pi_idx):
+            ones[idx], zeros[idx] = self._pack_column(vectors, position)
+        for (q_idx, _d), (so, sz) in zip(self._flops, self._state):
+            ones[q_idx], zeros[q_idx] = so, sz
+        for kind, out_idx, in_idx in self._gates:
+            o, z = eval_gate_packed(
+                kind, [(ones[i], zeros[i]) for i in in_idx]
+            )
+            ones[out_idx] = o & self.full_mask
+            zeros[out_idx] = z & self.full_mask
+        self._state = [(ones[d_idx], zeros[d_idx])
+                       for _q, d_idx in self._flops]
+        outputs = []
+        for lane in range(self.width):
+            bit = 1 << lane
+            outputs.append(tuple(
+                ONE if ones[i] & bit else ZERO if zeros[i] & bit else X
+                for i in self._po_idx
+            ))
+        return outputs
+
+    def run(
+        self, sequences: Sequence[Sequence[Sequence[int]]]
+    ) -> List[List[Tuple[int, ...]]]:
+        """Run one full input sequence per lane (all equal length);
+        returns per-lane lists of output tuples."""
+        if len(sequences) != self.width:
+            raise ValueError(f"need {self.width} sequences")
+        lengths = {len(s) for s in sequences}
+        if len(lengths) != 1:
+            raise ValueError("all lane sequences must share one length")
+        self.reset()
+        per_lane: List[List[Tuple[int, ...]]] = [[] for _ in range(self.width)]
+        for t in range(lengths.pop()):
+            outputs = self.step([seq[t] for seq in sequences])
+            for lane, out in enumerate(outputs):
+                per_lane[lane].append(out)
+        return per_lane
+
+    def evaluate(
+        self, vectors: Sequence[Sequence[int]]
+    ) -> List[Tuple[int, ...]]:
+        """One-shot combinational evaluation of ``width`` vectors
+        (sequential circuits: from the current state, one cycle)."""
+        return self.step(vectors)

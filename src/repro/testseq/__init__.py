@@ -1,0 +1,23 @@
+"""Leaf package for test-data containers: :class:`TestSequence` (explicit
+per-cycle sequences for ``C_scan``) and :class:`ScanTestSet`
+(conventional ``(SI, T)`` scan tests).
+
+Lives below both the ATPG substrate and the paper's core layer so either
+can import it without cycles; :mod:`repro.core` re-exports everything for
+the public API.
+"""
+
+from .export import to_stil, to_vcd, write_stil, write_vcd
+from .scan_tests import ScanTest, ScanTestSet
+from .sequences import SequenceStats, TestSequence
+
+__all__ = [
+    "TestSequence",
+    "SequenceStats",
+    "ScanTest",
+    "ScanTestSet",
+    "to_vcd",
+    "to_stil",
+    "write_vcd",
+    "write_stil",
+]

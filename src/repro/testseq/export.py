@@ -1,0 +1,163 @@
+"""Exporting test sequences to standard interchange formats.
+
+Two writers:
+
+* :func:`to_vcd` — an IEEE-1364 value-change dump of the sequence's
+  input waveforms (plus, optionally, the fault-free response computed by
+  the reference simulator).  Loadable in GTKWave and friends; handy for
+  eyeballing where scan operations sit in a compacted sequence.
+* :func:`to_stil` — a minimal STIL-flavoured (IEEE-1450) pattern block:
+  signal declarations and one ``V { ... }`` statement per clock cycle.
+  The subset is small but regular, matching what simple pattern bridges
+  consume; unknowns are emitted as ``X``.
+
+Both writers take the same view the paper insists on: one vector = one
+clock cycle, scan activity visible only as the ``scan_sel`` waveform.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+from ..circuit.gates import ONE, X, ZERO, value_to_char
+from ..circuit.netlist import Circuit
+from .sequences import TestSequence
+
+_VCD_CHARS = {ZERO: "0", ONE: "1", X: "x"}
+
+
+def _identifier_codes(count: int) -> List[str]:
+    """Short VCD identifier codes: printable ASCII, base-94."""
+    codes = []
+    for index in range(count):
+        code = ""
+        value = index
+        while True:
+            code = chr(33 + value % 94) + code
+            value //= 94
+            if value == 0:
+                break
+        codes.append(code)
+    return codes
+
+
+def to_vcd(
+    sequence: TestSequence,
+    circuit: Optional[Circuit] = None,
+    timescale: str = "1ns",
+    module: str = "repro",
+) -> str:
+    """Render ``sequence`` as a VCD document.
+
+    When ``circuit`` is given (and matches the sequence's inputs), the
+    fault-free primary outputs are simulated and dumped alongside the
+    inputs.
+    """
+    names: List[str] = list(sequence.inputs)
+    outputs: List[str] = []
+    responses: List[tuple] = []
+    if circuit is not None:
+        if tuple(circuit.inputs) != tuple(sequence.inputs):
+            raise ValueError("circuit inputs do not match the sequence")
+        from ..sim.logic_sim import LogicSimulator
+
+        sim = LogicSimulator(circuit)
+        responses = [sim.step(vector) for vector in sequence.vectors]
+        outputs = list(circuit.outputs)
+
+    codes = _identifier_codes(len(names) + len(outputs))
+    lines = [
+        "$date repro export $end",
+        f"$timescale {timescale} $end",
+        f"$scope module {module} $end",
+    ]
+    for name, code in zip(names + outputs, codes):
+        direction = "wire"
+        lines.append(f"$var {direction} 1 {code} {name} $end")
+    lines.append("$upscope $end")
+    lines.append("$enddefinitions $end")
+
+    previous: List[Optional[int]] = [None] * (len(names) + len(outputs))
+    for t, vector in enumerate(sequence.vectors):
+        values = list(vector) + (list(responses[t]) if responses else [])
+        changes = [
+            f"{_VCD_CHARS[value]}{codes[i]}"
+            for i, value in enumerate(values)
+            if value != previous[i]
+        ]
+        if changes or t == 0:
+            lines.append(f"#{t}")
+            lines.extend(changes)
+        previous = values
+    lines.append(f"#{len(sequence.vectors)}")
+    return "\n".join(lines) + "\n"
+
+
+def to_stil(
+    sequence: TestSequence,
+    circuit: Optional[Circuit] = None,
+    pattern_name: str = "repro_pattern",
+) -> str:
+    """Render ``sequence`` as a minimal STIL-flavoured pattern block."""
+    in_names = list(sequence.inputs)
+    out_names: List[str] = []
+    responses: List[tuple] = []
+    if circuit is not None:
+        if tuple(circuit.inputs) != tuple(sequence.inputs):
+            raise ValueError("circuit inputs do not match the sequence")
+        from ..sim.logic_sim import LogicSimulator
+
+        sim = LogicSimulator(circuit)
+        responses = [sim.step(vector) for vector in sequence.vectors]
+        out_names = list(circuit.outputs)
+
+    lines = [
+        'STIL 1.0;',
+        'Signals {',
+    ]
+    lines.extend(f'    "{name}" In;' for name in in_names)
+    lines.extend(f'    "{name}" Out;' for name in out_names)
+    lines.append('}')
+    lines.append('SignalGroups {')
+    lines.append('    "_pi" = \'' + "+".join(f'"{n}"' for n in in_names) + "';")
+    if out_names:
+        lines.append(
+            '    "_po" = \'' + "+".join(f'"{n}"' for n in out_names) + "';"
+        )
+    lines.append('}')
+    lines.append(f'Pattern "{pattern_name}" {{')
+    for t, vector in enumerate(sequence.vectors):
+        stimulus = "".join(value_to_char(v).upper() for v in vector)
+        if responses:
+            expect = "".join(
+                _expected_char(v) for v in responses[t]
+            )
+            lines.append(f'    V {{ "_pi" = {stimulus}; "_po" = {expect}; }}'
+                         f'  // cycle {t}')
+        else:
+            lines.append(f'    V {{ "_pi" = {stimulus}; }}  // cycle {t}')
+    lines.append('}')
+    return "\n".join(lines) + "\n"
+
+
+def _expected_char(value: int) -> str:
+    """STIL expected-value character: H/L compare, X don't-care."""
+    if value == ONE:
+        return "H"
+    if value == ZERO:
+        return "L"
+    return "X"
+
+
+def write_vcd(sequence: TestSequence, path, circuit=None, **kwargs) -> None:
+    """Write :func:`to_vcd` output to ``path``."""
+    from pathlib import Path
+
+    Path(path).write_text(to_vcd(sequence, circuit=circuit, **kwargs))
+
+
+def write_stil(sequence: TestSequence, path, circuit=None, **kwargs) -> None:
+    """Write :func:`to_stil` output to ``path``."""
+    from pathlib import Path
+
+    Path(path).write_text(to_stil(sequence, circuit=circuit, **kwargs))

@@ -1,0 +1,126 @@
+"""Conventional scan-based test sets: ``(SI, T)`` pairs.
+
+Both prior approaches the paper describes produce tests of this form
+(Section 1): a scan-in vector ``SI`` loading the state, followed by one
+or more primary input vectors ``T`` applied functionally, followed by a
+scan-out of the final state (overlapped with the next test's scan-in).
+
+* first approach — ``T`` is a single vector, a scan operation surrounds
+  every vector;
+* second approach (and the baseline [26]) — ``T`` may be longer, chosen
+  so fewer scan operations are needed.
+
+These objects carry the *conventional* world the paper starts from:
+Section 3 translates them into a single :class:`TestSequence` for
+``C_scan`` and Section 5's Table 7 compares cycle counts.
+
+Cycle accounting (``total_cycles``) uses the standard overlapped scheme:
+each test costs ``N_SV`` scan cycles plus ``len(T)`` functional cycles,
+and one trailing ``N_SV`` scan-out closes the session::
+
+    cycles = sum(N_SV + len(T_i)) + N_SV
+
+Every scan operation here is *complete* (``N_SV`` shifts) — that is
+precisely the rigidity the paper removes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence, Tuple
+
+from ..circuit.gates import X, value_to_char
+from ..circuit.netlist import Circuit
+
+
+@dataclass(frozen=True)
+class ScanTest:
+    """One conventional scan test ``(SI, T)``.
+
+    ``scan_in`` is aligned with the circuit's flip-flop order;
+    ``vectors`` are primary-input vectors of the *non-scan* circuit ``C``.
+    """
+
+    scan_in: Tuple[int, ...]
+    vectors: Tuple[Tuple[int, ...], ...]
+
+    def __post_init__(self):
+        if not self.vectors:
+            raise ValueError("a scan test needs at least one input vector")
+
+    @property
+    def functional_cycles(self) -> int:
+        """Functional (non-scan) cycles this test applies: ``len(T)``."""
+        return len(self.vectors)
+
+    def __str__(self) -> str:
+        si = "".join(value_to_char(v) for v in self.scan_in)
+        ts = " ".join(
+            "".join(value_to_char(v) for v in vec) for vec in self.vectors
+        )
+        return f"({si}, {ts})"
+
+
+class ScanTestSet:
+    """An ordered set of :class:`ScanTest` for one circuit ``C``."""
+
+    def __init__(self, circuit: Circuit, tests: Iterable[ScanTest] = ()):
+        if circuit.num_state_vars == 0:
+            raise ValueError("scan tests need a sequential circuit")
+        self.circuit = circuit
+        self.tests: List[ScanTest] = []
+        for test in tests:
+            self.append(test)
+
+    def append(self, test: ScanTest) -> None:
+        """Add a test after validating its widths against the circuit."""
+        if len(test.scan_in) != self.circuit.num_state_vars:
+            raise ValueError(
+                f"scan-in width {len(test.scan_in)} != "
+                f"{self.circuit.num_state_vars} state variables"
+            )
+        for vector in test.vectors:
+            if len(vector) != self.circuit.num_inputs:
+                raise ValueError(
+                    f"vector width {len(vector)} != {self.circuit.num_inputs} inputs"
+                )
+        self.tests.append(test)
+
+    def __len__(self) -> int:
+        return len(self.tests)
+
+    def __iter__(self):
+        return iter(self.tests)
+
+    def __getitem__(self, index) -> ScanTest:
+        return self.tests[index]
+
+    @property
+    def num_scan_operations(self) -> int:
+        """Complete scan operations performed: one per test plus the
+        final scan-out."""
+        return len(self.tests) + 1 if self.tests else 0
+
+    def total_cycles(self) -> int:
+        """Clock cycles to apply the whole set (see module docstring).
+
+        This is the quantity the paper's Tables 6/7 report in the
+        ``[26] cyc`` column for the conventional flow.
+        """
+        if not self.tests:
+            return 0
+        n_sv = self.circuit.num_state_vars
+        return sum(n_sv + t.functional_cycles for t in self.tests) + n_sv
+
+    def functional_cycles(self) -> int:
+        """Total functional (non-scan) cycles over all tests."""
+        return sum(t.functional_cycles for t in self.tests)
+
+    def summary(self) -> str:
+        """One-line human summary with the cycle accounting."""
+        return (
+            f"{len(self.tests)} tests, {self.functional_cycles()} functional "
+            f"cycles, {self.total_cycles()} total cycles "
+            f"({self.num_scan_operations} complete scan ops x "
+            f"{self.circuit.num_state_vars} shifts)"
+        )

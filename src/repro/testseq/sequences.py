@@ -1,0 +1,178 @@
+"""Test sequences for circuits whose scan lines are ordinary inputs.
+
+Under the paper's approach a test is just a sequence of primary input
+vectors for ``C_scan`` — ``scan_sel`` and ``scan_inp`` are columns like
+any other input, and the *test application time in clock cycles equals
+the sequence length* (Section 5: "the test sequence length in our case is
+equal to the number of clock cycles required to apply the test sequence,
+since scan operations are represented explicitly").
+
+:class:`TestSequence` is that object, plus the bookkeeping the paper's
+tables report: how many vectors assert ``scan_sel`` (the ``scan``
+subcolumns of Tables 6 and 7) and the lengths of consecutive
+``scan_sel = 1`` runs (which show whether scan operations are *limited* —
+shorter than the chain — or complete).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from ..circuit.gates import ONE, X, value_to_char
+from ..circuit.netlist import Circuit
+
+
+@dataclass(frozen=True)
+class SequenceStats:
+    """The paper's per-sequence metrics: ``total`` vectors (= clock
+    cycles) and how many of them are scan vectors (``scan_sel = 1``)."""
+
+    total: int
+    scan: int
+
+    def __str__(self) -> str:
+        return f"{self.total} cycles ({self.scan} scan)"
+
+
+class TestSequence:
+    """An ordered list of primary-input vectors for one circuit.
+
+    Vectors are tuples aligned with ``inputs``; values are ``0``, ``1``
+    or ``X``.  Instances are immutable; editing operations return new
+    sequences (compaction relies on cheap structural sharing of the
+    vector tuples).
+    """
+
+    def __init__(
+        self,
+        inputs: Sequence[str],
+        vectors: Iterable[Sequence[int]] = (),
+        scan_sel: Optional[str] = None,
+    ):
+        self.inputs: Tuple[str, ...] = tuple(inputs)
+        self.vectors: Tuple[Tuple[int, ...], ...] = tuple(
+            tuple(v) for v in vectors
+        )
+        for vector in self.vectors:
+            if len(vector) != len(self.inputs):
+                raise ValueError(
+                    f"vector width {len(vector)} != input count {len(self.inputs)}"
+                )
+        self.scan_sel = scan_sel
+        if scan_sel is not None and scan_sel not in self.inputs:
+            raise ValueError(f"scan_sel input {scan_sel!r} not among inputs")
+        self._sel_idx = self.inputs.index(scan_sel) if scan_sel else None
+
+    @classmethod
+    def for_circuit(cls, circuit: Circuit, vectors: Iterable[Sequence[int]] = (),
+                    scan_sel: Optional[str] = "scan_sel") -> "TestSequence":
+        """Build a sequence aligned with ``circuit.inputs``; ``scan_sel``
+        is dropped silently when the circuit has no such input."""
+        sel = scan_sel if scan_sel in circuit.inputs else None
+        return cls(circuit.inputs, vectors, scan_sel=sel)
+
+    # -- basic container behaviour ------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.vectors)
+
+    def __iter__(self):
+        return iter(self.vectors)
+
+    def __getitem__(self, index):
+        return self.vectors[index]
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, TestSequence):
+            return NotImplemented
+        return (
+            self.inputs == other.inputs
+            and self.vectors == other.vectors
+            and self.scan_sel == other.scan_sel
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"TestSequence({len(self.vectors)} vectors, "
+            f"{len(self.inputs)} inputs, scan={self.scan_vector_count()})"
+        )
+
+    # -- editing -------------------------------------------------------------
+
+    def extended(self, vectors: Iterable[Sequence[int]]) -> "TestSequence":
+        """New sequence with ``vectors`` appended."""
+        return TestSequence(
+            self.inputs, list(self.vectors) + [tuple(v) for v in vectors],
+            scan_sel=self.scan_sel,
+        )
+
+    def without(self, index: int) -> "TestSequence":
+        """New sequence with the vector at ``index`` omitted."""
+        kept = list(self.vectors)
+        del kept[index]
+        return TestSequence(self.inputs, kept, scan_sel=self.scan_sel)
+
+    def subsequence(self, indices: Iterable[int]) -> "TestSequence":
+        """New sequence keeping only ``indices`` (ascending original order)."""
+        ordered = sorted(set(indices))
+        return TestSequence(
+            self.inputs, [self.vectors[i] for i in ordered], scan_sel=self.scan_sel
+        )
+
+    def randomize_x(self, rng: random.Random) -> "TestSequence":
+        """Replace every X with a random binary value (the paper: "we
+        randomly specify all the unspecified values")."""
+        filled = [
+            tuple(rng.randint(0, 1) if v == X else v for v in vector)
+            for vector in self.vectors
+        ]
+        return TestSequence(self.inputs, filled, scan_sel=self.scan_sel)
+
+    # -- scan statistics -------------------------------------------------------
+
+    def scan_vector_count(self) -> int:
+        """Vectors with ``scan_sel = 1`` (the ``scan`` subcolumn)."""
+        if self._sel_idx is None:
+            return 0
+        return sum(1 for v in self.vectors if v[self._sel_idx] == ONE)
+
+    def scan_runs(self) -> List[int]:
+        """Lengths of maximal runs of consecutive ``scan_sel = 1`` vectors.
+
+        A run of length ``L < N_SV`` is a *limited* scan operation.
+        """
+        if self._sel_idx is None:
+            return []
+        runs: List[int] = []
+        current = 0
+        for vector in self.vectors:
+            if vector[self._sel_idx] == ONE:
+                current += 1
+            elif current:
+                runs.append(current)
+                current = 0
+        if current:
+            runs.append(current)
+        return runs
+
+    def stats(self) -> SequenceStats:
+        """(total cycles, scan cycles) — the Tables 6/7 pair."""
+        return SequenceStats(total=len(self.vectors), scan=self.scan_vector_count())
+
+    # -- presentation ------------------------------------------------------------
+
+    def to_table(self, max_rows: Optional[int] = None) -> str:
+        """Render in the style of the paper's Table 1 (time unit, one
+        column per input)."""
+        header = ["t"] + list(self.inputs)
+        widths = [max(3, len(h)) for h in header]
+        lines = ["  ".join(h.rjust(w) for h, w in zip(header, widths))]
+        rows = self.vectors if max_rows is None else self.vectors[:max_rows]
+        for t, vector in enumerate(rows):
+            cells = [str(t)] + [value_to_char(v) for v in vector]
+            lines.append("  ".join(c.rjust(w) for c, w in zip(cells, widths)))
+        if max_rows is not None and len(self.vectors) > max_rows:
+            lines.append(f"... ({len(self.vectors) - max_rows} more)")
+        return "\n".join(lines)

@@ -1,0 +1,55 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.circuit import insert_scan, s27, toy_comb, toy_pipeline, toy_seq
+from repro.circuit.synth import random_circuit
+from repro.faults import collapse_faults, enumerate_faults
+
+
+@pytest.fixture
+def s27_circuit():
+    return s27()
+
+
+@pytest.fixture
+def s27_scan():
+    return insert_scan(s27())
+
+
+@pytest.fixture
+def toy_comb_circuit():
+    return toy_comb()
+
+
+@pytest.fixture
+def toy_seq_circuit():
+    return toy_seq()
+
+
+@pytest.fixture
+def toy_pipeline_circuit():
+    return toy_pipeline()
+
+
+@pytest.fixture
+def small_synth():
+    """A small deterministic synthetic sequential circuit."""
+    return random_circuit("synth_small", num_inputs=4, num_flops=5,
+                          num_gates=30, seed=11)
+
+
+@pytest.fixture
+def medium_synth():
+    """A medium synthetic circuit for heavier integration tests."""
+    return random_circuit("synth_medium", num_inputs=6, num_flops=10,
+                          num_gates=80, seed=23)
+
+
+@pytest.fixture
+def rng():
+    return random.Random(1234)

@@ -1,0 +1,72 @@
+"""Dominance-based target-list reduction."""
+
+import pytest
+
+from repro.circuit import Circuit, Gate, insert_scan, s27
+from repro.faults import collapse_faults, dominance_reduce, equivalence_classes
+from repro.faults.model import stem_fault
+from repro.sim import PackedFaultSimulator
+from tests.util import random_vectors
+
+
+class TestRules:
+    def test_and_output_sa1_dropped(self):
+        c = Circuit("t", ["a", "b"], ["y"], [Gate("y", "AND", ("a", "b"))])
+        faults = collapse_faults(c)
+        targets, covered = dominance_reduce(c, faults)
+        mapping = equivalence_classes(c)
+        y_sa1 = mapping[stem_fault("y", 1)]
+        assert y_sa1 in covered
+        assert y_sa1 not in targets
+        # Its coverer is one of the input SA1 representatives.
+        assert covered[y_sa1] in {mapping[stem_fault("a", 1)],
+                                  mapping[stem_fault("b", 1)]}
+
+    def test_or_output_sa0_dropped(self):
+        c = Circuit("t", ["a", "b"], ["y"], [Gate("y", "OR", ("a", "b"))])
+        targets, covered = dominance_reduce(c)
+        mapping = equivalence_classes(c)
+        assert mapping[stem_fault("y", 0)] in covered
+
+    def test_inverters_not_reduced(self):
+        c = Circuit("t", ["a"], ["y"], [Gate("y", "NOT", ("a",))])
+        faults = collapse_faults(c)
+        targets, covered = dominance_reduce(c, faults)
+        assert not covered
+        assert targets == faults
+
+    def test_reduction_is_strict_on_s27(self, s27_circuit):
+        faults = collapse_faults(s27_circuit)
+        targets, covered = dominance_reduce(s27_circuit, faults)
+        assert len(targets) + len(covered) == len(faults)
+        assert covered, "s27 has AND/OR gates, something must drop"
+        assert len(targets) < len(faults)
+
+
+class TestSoundness:
+    def test_dominance_holds_empirically(self, s27_scan):
+        """Whenever a covering fault is detected at time t, the covered
+        (dropped) fault is detected at some time <= t under the same
+        sequence — the defining property of dominance."""
+        circuit = s27_scan.circuit
+        faults = collapse_faults(circuit)
+        targets, covered = dominance_reduce(circuit, faults)
+        vectors = random_vectors(circuit, 200, seed=21)
+        sim = PackedFaultSimulator(circuit, faults)
+        times = sim.run(vectors).detection_time
+        for dropped, coverer in covered.items():
+            if coverer in times:
+                assert dropped in times, (
+                    f"{coverer} detected but dominated {dropped} not"
+                )
+                assert times[dropped] <= times[coverer]
+
+    def test_targets_preserve_order(self, s27_circuit):
+        faults = collapse_faults(s27_circuit)
+        targets, _ = dominance_reduce(s27_circuit, faults)
+        positions = [faults.index(f) for f in targets]
+        assert positions == sorted(positions)
+
+    def test_defaults_to_collapsed_universe(self, s27_circuit):
+        targets, covered = dominance_reduce(s27_circuit)
+        assert set(targets) <= set(collapse_faults(s27_circuit))

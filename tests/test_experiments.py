@@ -1,0 +1,223 @@
+"""Experiment suite: specs, calibration, profiles, table runners."""
+
+import pytest
+
+from repro.circuit import insert_scan
+from repro.experiments import runner, suite, table5, table6, table7
+from repro.experiments.ablations import (
+    ablate_compaction,
+    ablate_limited_scan,
+    ablate_scan_knowledge,
+    render_compaction,
+    render_limited_scan,
+    render_scan_knowledge,
+)
+from repro.faults import collapse_faults
+from repro.reporting import format_table
+
+SMALL = ["s27", "b01", "b02"]
+
+
+@pytest.fixture(autouse=True, scope="module")
+def _shared_runner_cache():
+    """Keep memoized flows across this module, clear afterwards."""
+    yield
+    runner.clear_caches()
+
+
+class TestSpecs:
+    def test_every_paper_circuit_present(self):
+        names = {s.name for s in suite.PAPER_CIRCUITS}
+        assert {"s208", "s5378", "s35932", "b01", "b11"} <= names
+        assert len(suite.PAPER_CIRCUITS) == 26
+
+    def test_reference_tables_consistent(self):
+        assert set(suite.PAPER_TABLE5) == {s.name for s in suite.PAPER_CIRCUITS}
+        assert set(suite.PAPER_TABLE6) == set(suite.PAPER_TABLE5)
+        assert set(suite.PAPER_TABLE7) <= set(suite.PAPER_TABLE6)
+
+    def test_paper_table6_totals(self):
+        """The embedded reference data reproduces the paper's totals row
+        (circuits with a [26] entry): omit total 7230 (ISCAS) + 3110 (ITC)
+        vs 27660 + 3800 cycles."""
+        iscas = [n for n, row in suite.PAPER_TABLE6.items()
+                 if row[7] is not None and n.startswith("s")]
+        itc = [n for n, row in suite.PAPER_TABLE6.items()
+               if row[7] is not None and n.startswith("b")]
+        assert sum(suite.PAPER_TABLE6[n][4] for n in iscas) == 7230
+        assert sum(suite.PAPER_TABLE6[n][7] for n in iscas) == 27660
+        assert sum(suite.PAPER_TABLE6[n][4] for n in itc) == 3110
+        assert sum(suite.PAPER_TABLE6[n][7] for n in itc) == 3800
+
+    def test_paper_table7_totals(self):
+        iscas = [n for n in suite.PAPER_TABLE7 if n.startswith("s")]
+        itc = [n for n in suite.PAPER_TABLE7 if n.startswith("b")]
+        assert sum(suite.PAPER_TABLE7[n][4] for n in iscas) == 15702
+        assert sum(suite.PAPER_TABLE7[n][6] for n in iscas) == 24099
+        assert sum(suite.PAPER_TABLE7[n][4] for n in itc) == 2576
+        assert sum(suite.PAPER_TABLE7[n][6] for n in itc) == 3800
+
+    def test_profiles_nested(self):
+        quick = set(suite.PROFILES["quick"])
+        default = set(suite.PROFILES["default"])
+        full = set(suite.PROFILES["full"])
+        assert quick <= default <= full
+
+    def test_active_profile_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SUITE", "default")
+        assert suite.active_profile() == "default"
+        assert suite.active_profile("quick") == "quick"
+
+    def test_unknown_profile(self):
+        with pytest.raises(ValueError):
+            suite.active_profile("gigantic")
+
+    def test_circuit_seed_stable(self):
+        assert suite.circuit_seed("s298") == suite.circuit_seed("s298")
+        assert suite.circuit_seed("s298") != suite.circuit_seed("s400")
+
+
+class TestBuildCircuit:
+    def test_s27_exact(self):
+        c = suite.build_circuit("s27")
+        assert c.num_gates == 10
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            suite.build_circuit("s1234567")
+
+    def test_standin_matches_scale(self):
+        spec = suite.SPEC_BY_NAME["b01"]
+        circuit = suite.build_circuit("b01")
+        assert circuit.num_inputs == spec.num_inputs
+        assert circuit.num_state_vars == spec.paper_state_vars
+        measured = len(collapse_faults(insert_scan(circuit).circuit))
+        assert abs(measured - spec.paper_faults) / spec.paper_faults < 0.10
+
+    def test_standin_cached_and_deterministic(self):
+        a = suite.build_circuit("b02")
+        b = suite.build_circuit("b02")
+        assert a is b
+        # Fresh calibration gives an equal circuit.
+        suite._CALIBRATION_CACHE.pop("b02")
+        c = suite.build_circuit("b02")
+        assert a == c
+
+    def test_configs_scale_with_tier(self):
+        small = suite.atpg_config_for("b01")
+        large = suite.atpg_config_for("s5378")
+        assert large.candidates_per_step <= small.candidates_per_step
+        assert large.initial_random_vectors >= small.initial_random_vectors
+
+
+class TestTableRunners:
+    def test_table5_rows(self):
+        rows = table5.collect("quick")
+        names = [r.circuit for r in rows]
+        assert names == list(suite.PROFILES["quick"])
+        for row in rows:
+            assert 0 <= row.fcov <= 100
+            assert row.effective_fcov >= row.fcov
+            assert row.detected + row.redundant <= row.faults
+        text = table5.render(rows)
+        assert "fcov" in text and "s27" in text
+
+    def test_table6_rows(self):
+        rows = table6.collect("quick")
+        for row in rows:
+            assert row.omit_len[0] <= row.restor_len[0] <= row.test_len[0]
+            assert row.omit_len[1] <= row.omit_len[0]
+            assert row.baseline_cycles > 0
+        text = table6.render(rows)
+        assert "total" in text
+
+    def test_table7_rows(self):
+        rows = table7.collect("quick")
+        for row in rows:
+            assert row.test_len[0] == row.baseline_cycles
+            assert row.omit_len[0] <= row.test_len[0]
+        text = table7.render(rows)
+        assert "base cyc" in text
+
+    def test_headline_win_on_totals(self):
+        """The reproduction's own Table 6/7 totals must show the paper's
+        ordering: compacted limited-scan < conventional cycles."""
+        rows6 = table6.collect("quick")
+        assert sum(r.omit_len[0] for r in rows6) < \
+            sum(r.baseline_cycles for r in rows6)
+        rows7 = table7.collect("quick")
+        assert sum(r.omit_len[0] for r in rows7) < \
+            sum(r.baseline_cycles for r in rows7)
+
+    def test_runner_memoization(self):
+        a = runner.generation_result("s27")
+        b = runner.generation_result("s27")
+        assert a is b
+        t = runner.translation_result("s27")
+        assert t.baseline is runner.baseline_result("s27")
+
+
+class TestAblations:
+    def test_scan_knowledge_ablation(self):
+        rows = ablate_scan_knowledge("quick")
+        for row in rows:
+            assert row.detected_without <= row.detected_with
+        assert "Ablation A" in render_scan_knowledge(rows)
+
+    def test_compaction_ablation(self):
+        rows = ablate_compaction("quick")
+        for row in rows:
+            assert row.restoration_only <= row.raw
+            assert row.omission_only <= row.raw
+            assert row.both <= row.restoration_only
+        assert "Ablation B" in render_compaction(rows)
+
+    def test_limited_scan_ablation(self):
+        rows = ablate_limited_scan("quick")
+        wins = [r.win for r in rows]
+        assert sum(1 for w in wins if w > 1.0) >= len(wins) // 2
+        assert "Ablation C" in render_limited_scan(rows)
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        text = format_table(["name", "n"], [("abc", 1), ("d", 22)])
+        lines = text.splitlines()
+        assert lines[0].startswith("name")
+        assert lines[-1].endswith("22")
+
+    def test_format_table_none_and_floats(self):
+        text = format_table(["a", "b"], [(None, 1.234)])
+        assert "NA" in text and "1.23" in text
+
+    def test_format_table_title(self):
+        text = format_table(["a"], [(1,)], title="T")
+        assert text.splitlines()[0] == "T"
+
+
+class TestReport:
+    def test_build_report_quick(self):
+        from repro.experiments.report import build_report
+
+        text = build_report("quick")
+        assert "Table 5" in text
+        assert "Table 6" in text
+        assert "Table 7" in text
+        assert "Ablation A" in text
+        assert "Ablation D" in text
+
+    def test_write_report(self, tmp_path):
+        from repro.experiments.report import write_report
+
+        path = tmp_path / "report.md"
+        text = write_report(path, "quick")
+        assert path.read_text() == text
+
+    def test_restoration_variant_rows(self):
+        from repro.experiments.ablations import ablate_restoration_variants
+
+        rows = ablate_restoration_variants("quick")
+        for row in rows:
+            assert row.plain <= row.raw
+            assert row.overlapped <= row.raw
+            assert row.loops_then_omit <= row.raw

@@ -1,0 +1,122 @@
+"""VCD / STIL export of test sequences, plus the packaged c17 netlist."""
+
+import pytest
+
+from repro.circuit import c17, s27, insert_scan
+from repro.circuit.gates import ONE, X, ZERO
+from repro.testseq import TestSequence, to_stil, to_vcd, write_stil, write_vcd
+
+INPUTS = ("a", "b", "scan_sel")
+
+
+def small_sequence():
+    return TestSequence(
+        INPUTS,
+        [(ZERO, ONE, ZERO), (ZERO, ONE, ONE), (X, ZERO, ONE)],
+        scan_sel="scan_sel",
+    )
+
+
+class TestVcd:
+    def test_header_and_vars(self):
+        text = to_vcd(small_sequence())
+        assert "$timescale 1ns $end" in text
+        for name in INPUTS:
+            assert f" {name} $end" in text
+
+    def test_only_changes_dumped(self):
+        text = to_vcd(small_sequence())
+        # `a` is 0 at t0 and t1: its code must appear once before #2.
+        body = text.split("$enddefinitions $end")[1]
+        t01 = body.split("#2")[0]
+        a_code_line = [l for l in t01.splitlines() if l.startswith("0")]
+        # a and scan_sel start at 0 -> two '0' changes at t0 only.
+        assert len([l for l in a_code_line]) >= 2
+
+    def test_x_values(self):
+        text = to_vcd(small_sequence())
+        assert "\nx" in text
+
+    def test_timestamps_monotone(self):
+        text = to_vcd(small_sequence())
+        stamps = [int(line[1:]) for line in text.splitlines()
+                  if line.startswith("#")]
+        assert stamps == sorted(stamps)
+        assert stamps[-1] == 3  # closing timestamp
+
+    def test_with_circuit_responses(self):
+        sc = insert_scan(s27())
+        seq = TestSequence.for_circuit(
+            sc.circuit, [(0,) * 6, (1,) * 6]
+        )
+        text = to_vcd(seq, circuit=sc.circuit)
+        for po in sc.circuit.outputs:
+            assert f" {po} $end" in text
+
+    def test_circuit_mismatch(self):
+        with pytest.raises(ValueError):
+            to_vcd(small_sequence(), circuit=s27())
+
+    def test_write_to_file(self, tmp_path):
+        path = tmp_path / "seq.vcd"
+        write_vcd(small_sequence(), path)
+        assert path.read_text().startswith("$date")
+
+
+class TestStil:
+    def test_signals_declared(self):
+        text = to_stil(small_sequence())
+        assert '"a" In;' in text
+        assert 'STIL 1.0;' in text
+
+    def test_vector_lines(self):
+        text = to_stil(small_sequence())
+        assert '"_pi" = 010;' in text        # cycle 0
+        assert '"_pi" = X01;' in text.replace("x", "X")  # cycle 2
+
+    def test_expected_values_with_circuit(self):
+        circuit = s27()
+        seq = TestSequence.for_circuit(circuit, [(1, 1, 1, 1)] * 6,
+                                       scan_sel=None)
+        text = to_stil(seq, circuit=circuit)
+        assert '"_po" =' in text
+        # After synchronization the PO is binary: H or L appears.
+        assert ("H" in text.split("cycle 5")[0].split("V {")[-1]
+                or "L" in text)
+
+    def test_pattern_name(self):
+        text = to_stil(small_sequence(), pattern_name="myblock")
+        assert 'Pattern "myblock"' in text
+
+    def test_write_to_file(self, tmp_path):
+        path = tmp_path / "seq.stil"
+        write_stil(small_sequence(), path)
+        assert "STIL" in path.read_text()
+
+
+class TestC17:
+    def test_exact_shape(self):
+        c = c17()
+        assert c.num_inputs == 5
+        assert c.num_outputs == 2
+        assert c.num_gates == 6
+        assert all(g.kind == "NAND" for g in c.gates)
+
+    def test_fully_testable(self):
+        """Every collapsed fault of c17 is PODEM-testable (the classic
+        teaching result)."""
+        from repro.atpg import Podem
+        from repro.faults import collapse_faults
+
+        c = c17()
+        podem = Podem(c)
+        for fault in collapse_faults(c):
+            assert podem.run(fault).found, f"{fault} must be testable"
+
+    def test_known_response(self):
+        from repro.sim import LogicSimulator
+
+        sim = LogicSimulator(c17())
+        # all-ones: G10=NAND(1,1)=0, G11=0, G16=NAND(1,0)=1,
+        # G19=NAND(0,1)=1, G22=NAND(0,1)=1, G23=NAND(1,1)=0.
+        assert sim.step((1, 1, 1, 1, 1)) == (ONE, ZERO)

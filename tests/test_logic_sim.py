@@ -1,0 +1,102 @@
+"""Scalar reference logic simulator."""
+
+import pytest
+
+from repro.circuit import s27, toy_comb, toy_pipeline
+from repro.circuit.gates import ONE, X, ZERO
+from repro.sim import LogicSimulator, vector_from_string
+
+
+class TestVectorParsing:
+    def test_basic(self):
+        assert vector_from_string("01x") == (ZERO, ONE, X)
+
+    def test_spaces_ignored(self):
+        assert vector_from_string("0 1 x") == (ZERO, ONE, X)
+
+    def test_bad_char(self):
+        with pytest.raises(ValueError):
+            vector_from_string("02")
+
+
+class TestCombinational:
+    def test_toy_comb_truth(self, toy_comb_circuit):
+        sim = LogicSimulator(toy_comb_circuit)
+        # a=1 b=1 c=0 d=0: t1=0 t2=1 y=NAND(0,1)=1 z=NOR(1,0)=0
+        assert sim.step((ONE, ONE, ZERO, ZERO)) == (ONE, ZERO)
+
+    def test_string_vectors(self, toy_comb_circuit):
+        sim = LogicSimulator(toy_comb_circuit)
+        assert sim.step("1100") == (ONE, ZERO)
+
+    def test_x_propagation(self, toy_comb_circuit):
+        sim = LogicSimulator(toy_comb_circuit)
+        # d=1 controls the NOR regardless of X elsewhere.
+        outputs = sim.step((X, X, X, ONE))
+        assert outputs[1] == ZERO
+
+    def test_wrong_width(self, toy_comb_circuit):
+        sim = LogicSimulator(toy_comb_circuit)
+        with pytest.raises(ValueError):
+            sim.step((ONE, ZERO))
+
+
+class TestSequential:
+    def test_power_up_x(self, s27_circuit):
+        sim = LogicSimulator(s27_circuit)
+        assert sim.state == (X, X, X)
+
+    def test_pipeline_shifts(self, toy_pipeline_circuit):
+        sim = LogicSimulator(toy_pipeline_circuit)
+        sim.reset((ZERO, ZERO, ZERO))
+        # din=1 ctl=1 -> stage0=1 enters p0; after 3 cycles reaches p2.
+        sim.step((ONE, ONE))
+        assert sim.state[0] == ONE
+        sim.step((ZERO, ONE))
+        sim.step((ZERO, ONE))
+        assert sim.state[2] == ONE
+
+    def test_pipeline_output_inverts(self, toy_pipeline_circuit):
+        sim = LogicSimulator(toy_pipeline_circuit)
+        sim.reset((ZERO, ZERO, ONE))
+        outputs = sim.step((ZERO, ZERO))
+        assert outputs == (ZERO,)  # dout = NOT(p2)
+
+    def test_reset_explicit_state(self, s27_circuit):
+        sim = LogicSimulator(s27_circuit)
+        sim.reset((ONE, ZERO, ONE))
+        assert sim.state == (ONE, ZERO, ONE)
+        sim.reset()
+        assert sim.state == (X, X, X)
+
+    def test_reset_wrong_width(self, s27_circuit):
+        sim = LogicSimulator(s27_circuit)
+        with pytest.raises(ValueError):
+            sim.reset((ONE,))
+
+    def test_s27_known_response(self, s27_circuit):
+        """G17 = NOT(G11); with state (x,x,x) and an all-zero input the
+        output depends on X state, so it must be X initially."""
+        sim = LogicSimulator(s27_circuit)
+        outputs = sim.step((ZERO, ZERO, ZERO, ZERO))
+        assert outputs[0] == X
+
+    def test_s27_synchronizes(self, s27_circuit):
+        """s27 has a synchronizing input: holding a1=1 forces G14=0,
+        G10=NOR(0,G11) ... run a few vectors and state becomes binary."""
+        sim = LogicSimulator(s27_circuit)
+        for _ in range(5):
+            sim.step((ONE, ONE, ONE, ONE))
+        assert X not in sim.state
+
+    def test_run_returns_all_outputs(self, s27_circuit):
+        sim = LogicSimulator(s27_circuit)
+        outs = sim.run([(ZERO,) * 4, (ONE,) * 4, (ZERO,) * 4])
+        assert len(outs) == 3
+
+    def test_net_values_exposed(self, toy_comb_circuit):
+        sim = LogicSimulator(toy_comb_circuit)
+        sim.step((ONE, ONE, ZERO, ZERO))
+        values = sim.net_values()
+        assert values["t1"] == ZERO
+        assert values["y"] == ONE

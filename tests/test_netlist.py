@@ -1,0 +1,154 @@
+"""Netlist model: construction, validation, topology queries."""
+
+import pytest
+
+from repro.circuit import Circuit, CircuitError, FlipFlop, Gate
+
+
+def make(inputs, outputs, gates, flops=()):
+    return Circuit("t", inputs, outputs, gates, flops)
+
+
+class TestGateConstruction:
+    def test_valid(self):
+        g = Gate("y", "AND", ("a", "b"))
+        assert g.output == "y"
+        assert g.inputs == ("a", "b")
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError):
+            Gate("y", "FLUX", ("a",))
+
+    def test_bad_arity(self):
+        with pytest.raises(ValueError):
+            Gate("y", "NOT", ("a", "b"))
+
+    def test_self_feeding_combinational(self):
+        with pytest.raises(ValueError):
+            Gate("y", "AND", ("y", "b"))
+
+
+class TestValidation:
+    def test_minimal(self):
+        c = make(["a"], ["y"], [Gate("y", "NOT", ("a",))])
+        assert c.num_gates == 1
+
+    def test_output_can_be_input_net(self):
+        c = make(["a"], ["a"], [])
+        assert c.outputs == ("a",)
+
+    def test_duplicate_pi(self):
+        with pytest.raises(CircuitError):
+            make(["a", "a"], ["a"], [])
+
+    def test_duplicate_po(self):
+        with pytest.raises(CircuitError):
+            make(["a"], ["a", "a"], [])
+
+    def test_multiple_drivers(self):
+        with pytest.raises(CircuitError, match="multiple drivers"):
+            make(["a"], ["y"],
+                 [Gate("y", "NOT", ("a",)), Gate("y", "BUF", ("a",))])
+
+    def test_gate_shadowing_pi(self):
+        with pytest.raises(CircuitError, match="multiple drivers"):
+            make(["a", "b"], ["a"], [Gate("a", "NOT", ("b",))])
+
+    def test_undriven_gate_input(self):
+        with pytest.raises(CircuitError, match="undriven"):
+            make(["a"], ["y"], [Gate("y", "AND", ("a", "ghost"))])
+
+    def test_undriven_flop_d(self):
+        with pytest.raises(CircuitError, match="undriven"):
+            make(["a"], ["q"], [], [FlipFlop("q", "ghost")])
+
+    def test_undriven_po(self):
+        with pytest.raises(CircuitError, match="undriven"):
+            make(["a"], ["ghost"], [Gate("y", "NOT", ("a",))])
+
+    def test_combinational_cycle(self):
+        with pytest.raises(CircuitError, match="cycle"):
+            make(["a"], ["y"], [
+                Gate("x", "AND", ("a", "y")),
+                Gate("y", "BUF", ("x",)),
+            ])
+
+    def test_feedback_through_flop_is_fine(self):
+        c = make(["a"], ["q"],
+                 [Gate("d", "AND", ("a", "q"))],
+                 [FlipFlop("q", "d")])
+        assert c.num_state_vars == 1
+
+
+class TestTopology:
+    def test_topo_respects_dependencies(self, s27_circuit):
+        seen = set(s27_circuit.inputs)
+        seen.update(f.q for f in s27_circuit.flops)
+        for gate in s27_circuit.topo_gates:
+            for net in gate.inputs:
+                assert net in seen, f"{gate.output} evaluated before {net}"
+            seen.add(gate.output)
+
+    def test_topo_covers_all_gates(self, s27_circuit):
+        assert len(s27_circuit.topo_gates) == s27_circuit.num_gates
+
+    def test_fanout(self, s27_circuit):
+        sinks = s27_circuit.fanout("G11")
+        consumers = {consumer for consumer, _pin in sinks}
+        # G11 feeds the G17 inverter, the G10 NOR and flip-flop G6.
+        assert "G17" in consumers
+        assert "G10" in consumers
+        assert "G6" in consumers
+
+    def test_fanout_po_namespacing(self, s27_circuit):
+        sinks = s27_circuit.fanout("G17")
+        assert ("PO:G17", 0) in sinks
+
+    def test_fanout_count(self, s27_circuit):
+        assert s27_circuit.fanout_count("G11") == 3
+        assert s27_circuit.fanout_count("G17") == 1
+
+    def test_driver_kind(self, s27_circuit):
+        assert s27_circuit.driver_kind("G0") == "input"
+        assert s27_circuit.driver_kind("G11") == "gate"
+        assert s27_circuit.driver_kind("G5") == "flop"
+        with pytest.raises(KeyError):
+            s27_circuit.driver_kind("nope")
+
+    def test_nets(self, s27_circuit):
+        nets = s27_circuit.nets()
+        assert len(nets) == len(set(nets))
+        assert len(nets) == 4 + 10 + 3  # PIs + gates + flops
+
+
+class TestAccessors:
+    def test_stats(self, s27_circuit):
+        stats = s27_circuit.stats()
+        assert stats == {
+            "inputs": 4, "outputs": 1, "gates": 10, "flops": 3, "nets": 17,
+        }
+
+    def test_counts(self, s27_circuit):
+        assert s27_circuit.num_inputs == 4
+        assert s27_circuit.num_outputs == 1
+        assert s27_circuit.num_state_vars == 3
+
+    def test_repr(self, s27_circuit):
+        text = repr(s27_circuit)
+        assert "s27" in text and "3 FF" in text
+
+    def test_equality(self, s27_circuit):
+        from repro.circuit import s27
+
+        assert s27_circuit == s27()
+        assert s27_circuit != 42
+
+    def test_gate_by_output(self, s27_circuit):
+        assert s27_circuit.gate_by_output["G17"].kind == "NOT"
+
+    def test_flop_by_q(self, s27_circuit):
+        assert s27_circuit.flop_by_q["G5"].d == "G10"
+
+    def test_immutability_of_views(self, s27_circuit):
+        assert isinstance(s27_circuit.gates, tuple)
+        assert isinstance(s27_circuit.inputs, tuple)

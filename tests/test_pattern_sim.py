@@ -1,0 +1,133 @@
+"""Pattern-parallel simulator: lockstep agreement with the scalar
+reference on every lane."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuit import c17, random_circuit, s27, toy_seq
+from repro.circuit.gates import ONE, X, ZERO
+from repro.sim import LogicSimulator, PackedPatternSimulator
+from tests.util import random_vectors
+
+
+class TestCombinational:
+    def test_matches_scalar_on_c17(self):
+        circuit = c17()
+        rng = random.Random(4)
+        vectors = [tuple(rng.randint(0, 1) for _ in range(5))
+                   for _ in range(32)]
+        sim = PackedPatternSimulator(circuit, width=32)
+        outputs = sim.evaluate(vectors)
+        scalar = LogicSimulator(circuit)
+        for lane, vector in enumerate(vectors):
+            assert outputs[lane] == scalar.step(vector)
+
+    def test_x_lanes(self):
+        circuit = c17()
+        vectors = [(X,) * 5, (ONE,) * 5]
+        sim = PackedPatternSimulator(circuit, width=2)
+        outputs = sim.evaluate(vectors)
+        assert outputs[1] == (ONE, ZERO)
+        # All-X inputs give all-X outputs on NAND trees.
+        assert outputs[0] == (X, X)
+
+
+class TestSequential:
+    def test_lanes_are_independent(self, toy_seq_circuit):
+        """Each lane's state trajectory matches a standalone scalar run."""
+        width = 8
+        rng = random.Random(7)
+        sequences = [
+            [tuple(rng.randint(0, 1) for _ in range(2)) for _ in range(20)]
+            for _lane in range(width)
+        ]
+        packed = PackedPatternSimulator(toy_seq_circuit, width=width)
+        results = packed.run(sequences)
+        for lane in range(width):
+            scalar = LogicSimulator(toy_seq_circuit)
+            expected = [scalar.step(v) for v in sequences[lane]]
+            assert results[lane] == expected
+            assert packed.lane_state(lane) == scalar.state
+
+    def test_load_states(self, s27_circuit):
+        width = 3
+        states = [(ZERO,) * 3, (ONE,) * 3, (ONE, ZERO, ONE)]
+        sim = PackedPatternSimulator(s27_circuit, width=width)
+        sim.load_states(states)
+        for lane, state in enumerate(states):
+            assert sim.lane_state(lane) == state
+
+    def test_reset(self, s27_circuit):
+        sim = PackedPatternSimulator(s27_circuit, width=2)
+        sim.load_states([(ONE,) * 3, (ZERO,) * 3])
+        sim.reset()
+        assert sim.lane_state(0) == (X, X, X)
+
+    def test_monte_carlo_fill_use_case(self, s27_scan):
+        """The intended use: evaluate many random fills of an X-laden
+        sequence simultaneously and pick one whose response is binary."""
+        circuit = s27_scan.circuit
+        template = [
+            tuple(X if i % 2 else 1 for i in range(circuit.num_inputs))
+            for _ in range(6)
+        ]
+        width = 16
+        rng = random.Random(11)
+        fills = [
+            [tuple(rng.randint(0, 1) if v == X else v for v in vec)
+             for vec in template]
+            for _lane in range(width)
+        ]
+        packed = PackedPatternSimulator(circuit, width=width)
+        results = packed.run(fills)
+        assert len(results) == width
+        # All fills share the specified positions, so where the template
+        # is fully binary the lanes agree with a scalar run of lane 0.
+        scalar = LogicSimulator(circuit)
+        assert results[0] == [scalar.step(v) for v in fills[0]]
+
+
+class TestValidation:
+    def test_bad_width(self, s27_circuit):
+        with pytest.raises(ValueError):
+            PackedPatternSimulator(s27_circuit, width=0)
+
+    def test_wrong_vector_count(self, s27_circuit):
+        sim = PackedPatternSimulator(s27_circuit, width=2)
+        with pytest.raises(ValueError):
+            sim.step([(0, 0, 0, 0)])
+
+    def test_wrong_state_count(self, s27_circuit):
+        sim = PackedPatternSimulator(s27_circuit, width=2)
+        with pytest.raises(ValueError):
+            sim.load_states([(0, 0, 0)])
+
+    def test_ragged_sequences(self, s27_circuit):
+        sim = PackedPatternSimulator(s27_circuit, width=2)
+        with pytest.raises(ValueError):
+            sim.run([[(0, 0, 0, 0)], [(0, 0, 0, 0), (1, 1, 1, 1)]])
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    seed=st.integers(0, 10_000),
+    width=st.integers(min_value=1, max_value=12),
+    cycles=st.integers(min_value=1, max_value=12),
+)
+def test_pattern_sim_matches_scalar_random(seed, width, cycles):
+    """Random circuits, random lanes: every lane equals its scalar run."""
+    circuit = random_circuit("pp", 3, 4, 15, seed=seed)
+    rng = random.Random(seed ^ 0xABCD)
+    sequences = [
+        [tuple(rng.choice((ZERO, ONE, X)) for _ in range(3))
+         for _ in range(cycles)]
+        for _lane in range(width)
+    ]
+    packed = PackedPatternSimulator(circuit, width=width)
+    results = packed.run(sequences)
+    for lane in range(width):
+        scalar = LogicSimulator(circuit)
+        assert results[lane] == [scalar.step(v) for v in sequences[lane]]

@@ -1,0 +1,187 @@
+"""PODEM combinational ATPG: cubes verified by simulation, untestability
+proofs, abort behaviour."""
+
+import itertools
+
+import pytest
+
+from repro.atpg import ABORTED, DETECTED, UNTESTABLE, Podem, comb_view
+from repro.circuit import Circuit, Gate, s27, toy_comb
+from repro.circuit.gates import ONE, X, ZERO, eval_gate
+from repro.faults import (
+    branch_fault,
+    collapse_faults,
+    enumerate_faults,
+    stem_fault,
+)
+
+
+def verify_cube(circuit, fault, assignment):
+    """Independent check: simulate good and faulty machines under the cube
+    (unassigned inputs X) and require an output with opposite binary
+    values.  A valid PODEM cube must detect for *any* fill, so X-filled
+    simulation succeeding is the strictest confirmation."""
+    good = {net: assignment.get(net, X) for net in circuit.inputs}
+    faulty = dict(good)
+    if fault.kind == "stem" and fault.net in good:
+        faulty[fault.net] = fault.stuck_at
+    for gate in circuit.topo_gates:
+        good[gate.output] = eval_gate(gate.kind, [good[n] for n in gate.inputs])
+        fin = []
+        for pin, net in enumerate(gate.inputs):
+            value = faulty[net]
+            if fault.kind == "branch" and fault.consumer == gate.output \
+                    and fault.pin == pin:
+                value = fault.stuck_at
+            fin.append(value)
+        value = eval_gate(gate.kind, fin)
+        if fault.kind == "stem" and fault.net == gate.output:
+            value = fault.stuck_at
+        faulty[gate.output] = value
+    for po in circuit.outputs:
+        g, f = good[po], faulty[po]
+        if fault.kind == "branch" and fault.consumer == f"PO:{po}":
+            f = fault.stuck_at
+        if g != X and f != X and g != f:
+            return True
+    return False
+
+
+class TestOnCombinationalCircuits:
+    def test_all_toy_comb_faults(self, toy_comb_circuit):
+        podem = Podem(toy_comb_circuit)
+        for fault in enumerate_faults(toy_comb_circuit):
+            result = podem.run(fault)
+            assert result.status in (DETECTED, UNTESTABLE)
+            if result.found:
+                assert verify_cube(toy_comb_circuit, fault, result.assignment)
+
+    def test_requires_combinational(self, s27_circuit):
+        with pytest.raises(ValueError):
+            Podem(s27_circuit)
+
+    def test_pi_fault(self):
+        c = Circuit("t", ["a", "b"], ["y"], [Gate("y", "AND", ("a", "b"))])
+        result = Podem(c).run(stem_fault("a", 0))
+        assert result.found
+        assert result.assignment.get("a") == ONE
+        assert result.assignment.get("b") == ONE
+
+    def test_po_branch_fault(self):
+        c = Circuit("t", ["a"], ["y", "z"], [
+            Gate("m", "BUF", ("a",)),
+            Gate("y", "BUF", ("m",)),
+            Gate("z", "NOT", ("m",)),
+        ])
+        # Fault on the PO pin of y (driver m fans out to y and z).
+        result = Podem(c).run(stem_fault("y", 0))
+        assert result.found
+        assert verify_cube(c, stem_fault("y", 0), result.assignment)
+
+    def test_untestable_redundant_logic(self):
+        """y = OR(a, NOT(a)) is constant 1; y/SA1 is undetectable."""
+        c = Circuit("t", ["a", "b"], ["out"], [
+            Gate("na", "NOT", ("a",)),
+            Gate("y", "OR", ("a", "na")),
+            Gate("out", "AND", ("y", "b")),
+        ])
+        assert Podem(c).run(stem_fault("y", 1)).status == UNTESTABLE
+
+    def test_unobservable_fault_untestable(self):
+        """A net masked by a constant-0 AND partner can't propagate."""
+        c = Circuit("t", ["a", "b"], ["out"], [
+            Gate("nb", "NOT", ("b",)),
+            Gate("zero", "AND", ("b", "nb")),   # constant 0
+            Gate("out", "AND", ("a", "zero")),
+        ])
+        assert Podem(c).run(stem_fault("a", 0)).status == UNTESTABLE
+
+    def test_xor_propagation(self):
+        c = Circuit("t", ["a", "b"], ["y"], [Gate("y", "XOR", ("a", "b"))])
+        for fault in (stem_fault("a", 0), stem_fault("a", 1)):
+            result = Podem(c).run(fault)
+            assert result.found
+            assert verify_cube(c, fault, result.assignment)
+
+    def test_mux_gate(self):
+        c = Circuit("t", ["s", "d0", "d1"], ["y"],
+                    [Gate("y", "MUX", ("s", "d0", "d1"))])
+        result = Podem(c).run(stem_fault("d1", 0))
+        assert result.found
+        assert verify_cube(c, stem_fault("d1", 0), result.assignment)
+
+    def test_abort_on_tiny_backtrack_limit(self):
+        """An untestable internal fault with backtrack limit 0 gives up
+        (ABORTED) instead of completing the exhaustion proof."""
+        c = Circuit("t", ["a", "b", "c"], ["y"], [
+            Gate("p", "XOR", ("a", "b")),
+            Gate("q", "XOR", ("b", "c")),
+            Gate("r", "AND", ("p", "q")),
+            Gate("nr", "NOT", ("r",)),
+            Gate("y", "AND", ("r", "nr")),   # r masked by nr: r/SA0 undetectable
+        ])
+        fault = stem_fault("r", 0)
+        assert Podem(c, backtrack_limit=5000).run(fault).status == UNTESTABLE
+        assert Podem(c, backtrack_limit=0).run(fault).status == ABORTED
+
+
+class TestOnCombViewOfScanCircuits:
+    def test_s27_view_full_coverage(self, s27_circuit):
+        """Every collapsed fault of s27 is PODEM-testable in the view
+        (full scan makes s27's core fully testable)."""
+        view = comb_view(s27_circuit)
+        podem = Podem(view.circuit, backtrack_limit=2000)
+        for fault in collapse_faults(s27_circuit):
+            if fault.consumer is not None and \
+                    fault.consumer in s27_circuit.flop_by_q:
+                continue
+            result = podem.run(fault)
+            assert result.found, f"{fault} should be testable with full scan"
+            assert verify_cube(view.circuit, fault, result.assignment)
+
+    def test_s27_scan_view_full_coverage(self, s27_scan):
+        circuit = s27_scan.circuit
+        view = comb_view(circuit)
+        podem = Podem(view.circuit, backtrack_limit=2000)
+        tested = untestable = 0
+        for fault in collapse_faults(circuit):
+            if fault.consumer is not None and fault.consumer in circuit.flop_by_q:
+                continue
+            result = podem.run(fault)
+            if result.found:
+                tested += 1
+                assert verify_cube(view.circuit, fault, result.assignment)
+            elif result.status == UNTESTABLE:
+                untestable += 1
+        assert tested > 40
+        assert untestable == 0  # s27_scan has no redundant faults
+
+    def test_backtracks_reported(self, s27_circuit):
+        view = comb_view(s27_circuit)
+        podem = Podem(view.circuit)
+        result = podem.run(collapse_faults(s27_circuit)[0])
+        assert result.backtracks >= 0
+
+
+class TestCombView:
+    def test_structure(self, s27_circuit):
+        view = comb_view(s27_circuit)
+        assert view.circuit.num_state_vars == 0
+        assert set(view.pseudo_inputs) == {"G5", "G6", "G7"}
+        assert "G10" in view.circuit.outputs  # D of G5 is a pseudo PO
+        assert view.pseudo_output_of["G5"] == "G10"
+
+    def test_rejects_combinational(self, toy_comb_circuit):
+        with pytest.raises(ValueError):
+            comb_view(toy_comb_circuit)
+
+    def test_split_assignment(self, s27_circuit):
+        view = comb_view(s27_circuit)
+        state, vector = view.split_assignment({"G5": ONE, "G0": ZERO}, fill=X)
+        assert state == (ONE, X, X)
+        assert vector == (ZERO, X, X, X)
+
+    def test_capturing_flops(self, s27_circuit):
+        view = comb_view(s27_circuit)
+        assert view.capturing_flops(["G10"]) == ["G5"]
+        assert view.capturing_flops(["G17"]) == []

@@ -1,0 +1,88 @@
+"""Random-pattern testability profiling."""
+
+import pytest
+
+from repro.analysis import (
+    RandomTestabilityProfile,
+    random_testability,
+    suggest_preamble_length,
+)
+from repro.circuit import insert_scan, s27
+from repro.faults import collapse_faults
+
+
+@pytest.fixture(scope="module")
+def s27_profile():
+    circuit = s27()
+    return circuit, random_testability(
+        circuit, collapse_faults(circuit),
+        sequence_length=64, trials=12, seed=5,
+    )
+
+
+class TestProfile:
+    def test_probabilities_in_range(self, s27_profile):
+        _c, profile = s27_profile
+        for fault in profile.detections:
+            assert 0.0 <= profile.detection_probability(fault) <= 1.0
+
+    def test_s27_known_resistance(self, s27_profile):
+        """Non-scan s27 has a large random-resistant population (the
+        module docstring's 9/26 story)."""
+        _c, profile = s27_profile
+        resistant = profile.resistant_faults()
+        assert len(resistant) >= 10
+
+    def test_scan_dissolves_resistance(self):
+        """s27_scan: scan observability makes almost everything random-
+        detectable."""
+        sc = insert_scan(s27())
+        faults = collapse_faults(sc.circuit)
+        profile = random_testability(sc.circuit, faults,
+                                     sequence_length=128, trials=8, seed=5)
+        assert len(profile.resistant_faults()) <= len(faults) * 0.05
+
+    def test_mean_times_within_horizon(self, s27_profile):
+        _c, profile = s27_profile
+        for t in profile.mean_detection_time.values():
+            assert 0 <= t < profile.sequence_length
+
+    def test_expected_coverage_bounds(self, s27_profile):
+        _c, profile = s27_profile
+        assert 0.0 <= profile.expected_coverage() <= 100.0
+
+    def test_ranked_hardest(self, s27_profile):
+        _c, profile = s27_profile
+        hardest = profile.ranked_hardest(5)
+        assert len(hardest) == 5
+        counts = [profile.detections[f] for f in hardest]
+        assert counts == sorted(counts)
+
+    def test_deterministic(self):
+        circuit = s27()
+        faults = collapse_faults(circuit)
+        a = random_testability(circuit, faults, trials=4, seed=9)
+        b = random_testability(circuit, faults, trials=4, seed=9)
+        assert a.detections == b.detections
+
+    def test_trials_validated(self):
+        with pytest.raises(ValueError):
+            random_testability(s27(), [], trials=0)
+
+
+class TestPreambleSuggestion:
+    def test_within_horizon(self, s27_profile):
+        _c, profile = s27_profile
+        length = suggest_preamble_length(profile)
+        assert 1 <= length <= profile.sequence_length
+
+    def test_fraction_validated(self, s27_profile):
+        _c, profile = s27_profile
+        with pytest.raises(ValueError):
+            suggest_preamble_length(profile, target_fraction=0.0)
+
+    def test_empty_profile(self):
+        profile = RandomTestabilityProfile(
+            circuit_name="x", sequence_length=32, trials=1
+        )
+        assert suggest_preamble_length(profile) == 32

@@ -1,0 +1,203 @@
+"""Section 2 scan-aware test generation: coverage, funct accounting,
+the two functional-knowledge completions."""
+
+import pytest
+
+from repro.atpg import SeqATPGConfig
+from repro.circuit import insert_scan, random_circuit, s27
+from repro.core import ScanAwareATPG
+from repro.faults import collapse_faults
+from repro.sim import PackedFaultSimulator
+
+
+@pytest.fixture(scope="module")
+def s27_result():
+    sc = insert_scan(s27())
+    faults = collapse_faults(sc.circuit)
+    atpg = ScanAwareATPG(sc, faults, config=SeqATPGConfig(seed=1))
+    return sc, faults, atpg.generate()
+
+
+class TestS27FullCoverage:
+    def test_full_coverage(self, s27_result):
+        _sc, faults, result = s27_result
+        assert result.base.detected_count == len(faults)
+        assert result.coverage() == 100.0
+
+    def test_sequence_detects_everything_from_scratch(self, s27_result):
+        """Independent confirmation: simulating the emitted sequence from
+        power-up detects every fault claimed detected."""
+        sc, faults, result = s27_result
+        sim = PackedFaultSimulator(sc.circuit, faults)
+        confirmed = sim.run(list(result.sequence.vectors))
+        assert set(confirmed.detection_time) == set(result.detection_time)
+
+    def test_detection_times_match(self, s27_result):
+        sc, faults, result = s27_result
+        sim = PackedFaultSimulator(sc.circuit, faults)
+        confirmed = sim.run(list(result.sequence.vectors))
+        assert confirmed.detection_time == result.detection_time
+
+    def test_uses_scan_sel_as_ordinary_input(self, s27_result):
+        """The generated sequence interleaves scan and functional cycles
+        (the point of the paper) rather than segregating them."""
+        _sc, _faults, result = s27_result
+        runs = result.sequence.scan_runs()
+        assert runs, "some scan activity expected"
+        assert result.sequence.scan_vector_count() < len(result.sequence)
+
+    def test_funct_accounting_consistent(self, s27_result):
+        _sc, _faults, result = s27_result
+        assert result.funct_count == \
+            len(result.funct_scan_out) + len(result.funct_justify)
+        for fault in result.funct_scan_out + result.funct_justify:
+            assert fault in result.detection_time
+
+
+class TestKnowledgeToggles:
+    def test_without_knowledge_no_funct(self, s27_circuit):
+        sc = insert_scan(s27_circuit)
+        faults = collapse_faults(sc.circuit)
+        result = ScanAwareATPG(
+            sc, faults, config=SeqATPGConfig(seed=1),
+            use_scan_knowledge=False,
+        ).generate()
+        assert result.funct_count == 0
+
+    def test_knowledge_never_hurts(self):
+        """On a synthetic circuit, enabling the completions detects at
+        least as many faults for the same search budget."""
+        circuit = random_circuit("k", 3, 12, 70, seed=41)
+        sc = insert_scan(circuit)
+        faults = collapse_faults(sc.circuit)
+        config = SeqATPGConfig(seed=2, initial_random_vectors=16,
+                               candidates_per_step=4, max_subseq_len=12,
+                               restarts=1)
+        with_k = ScanAwareATPG(sc, faults, config=config).generate()
+        without_k = ScanAwareATPG(sc, faults, config=config,
+                                  use_scan_knowledge=False).generate()
+        assert with_k.base.detected_count >= without_k.base.detected_count
+
+    def test_justification_disabled(self):
+        circuit = random_circuit("j", 3, 10, 60, seed=42)
+        sc = insert_scan(circuit)
+        faults = collapse_faults(sc.circuit)
+        result = ScanAwareATPG(
+            sc, faults, config=SeqATPGConfig(seed=3),
+            use_justification=False,
+        ).generate()
+        assert not result.funct_justify
+
+
+class TestScanInVectors:
+    def test_scan_in_reaches_state(self, s27_scan):
+        """The private scan-in builder loads exactly the requested state
+        (verified through the real circuit)."""
+        from repro.circuit.gates import ONE, ZERO
+        from repro.sim import LogicSimulator
+
+        atpg = ScanAwareATPG(s27_scan, collapse_faults(s27_scan.circuit))
+        import random
+
+        rng = random.Random(0)
+        for state in ((ZERO, ONE, ONE), (ONE, ONE, ZERO), (ZERO, ZERO, ZERO)):
+            vectors = atpg._scan_in_vectors(state)
+            assert len(vectors) == 3
+            sim = LogicSimulator(s27_scan.circuit)
+            for vector in vectors:
+                filled = tuple(
+                    rng.randint(0, 1) if v == 2 else v for v in vector
+                )
+                sim.step(filled)
+            assert sim.state == state
+
+    def test_scan_vector_shape(self, s27_scan):
+        from repro.circuit.gates import ONE, X
+
+        atpg = ScanAwareATPG(s27_scan, [])
+        vector = atpg._scan_vector()
+        sel_idx = s27_scan.circuit.inputs.index("scan_sel")
+        assert vector[sel_idx] == ONE
+        assert vector.count(X) == len(vector) - 1
+
+
+class TestMultiChain:
+    def test_multi_chain_generation(self):
+        circuit = random_circuit("mc", 4, 9, 50, seed=13)
+        sc = insert_scan(circuit, num_chains=3)
+        faults = collapse_faults(sc.circuit)
+        result = ScanAwareATPG(
+            sc, faults,
+            config=SeqATPGConfig(seed=4, initial_random_vectors=32,
+                                 max_subseq_len=12, restarts=1),
+        ).generate()
+        # Multi-chain scan shortens observation paths; decent coverage
+        # must be reachable.
+        assert result.base.detected_count > 0.6 * len(faults)
+
+    def test_multi_chain_scan_in(self):
+        from repro.circuit.gates import X
+        from repro.sim import LogicSimulator
+        import random
+
+        circuit = random_circuit("mc2", 4, 7, 40, seed=14)
+        sc = insert_scan(circuit, num_chains=2)
+        atpg = ScanAwareATPG(sc, [])
+        state = tuple(i % 2 for i in range(7))
+        vectors = atpg._scan_in_vectors(state)
+        assert len(vectors) == sc.max_chain_length
+        rng = random.Random(1)
+        sim = LogicSimulator(sc.circuit)
+        for vector in vectors:
+            sim.step(tuple(rng.randint(0, 1) if v == X else v for v in vector))
+        assert sim.state == state
+
+
+class TestDominanceTargeting:
+    def test_dominance_ordering_keeps_coverage(self, s27_scan):
+        """Dominance-ordered targeting must reach the same coverage on
+        s27_scan (everything detectable) while targeting fewer faults
+        explicitly up front."""
+        from repro.atpg import SeqATPGConfig
+        from repro.faults import collapse_faults
+
+        faults = collapse_faults(s27_scan.circuit)
+        plain = ScanAwareATPG(
+            s27_scan, faults, config=SeqATPGConfig(seed=5)
+        ).generate()
+        ordered = ScanAwareATPG(
+            s27_scan, faults, config=SeqATPGConfig(seed=5),
+            use_dominance=True,
+        ).generate()
+        assert ordered.base.detected_count == plain.base.detected_count \
+            == len(faults)
+
+    def test_targets_must_be_in_universe(self, s27_scan):
+        from repro.atpg import SequentialATPG
+        from repro.faults import collapse_faults
+        from repro.faults.model import stem_fault
+
+        faults = collapse_faults(s27_scan.circuit)[:5]
+        import pytest as _pytest
+
+        with _pytest.raises(ValueError):
+            SequentialATPG(
+                s27_scan.circuit, faults,
+                targets=[stem_fault("G0", 0), stem_fault("G0", 1)],
+            )
+
+    def test_untargeted_faults_accounted(self, s27_scan):
+        """Universe faults outside the target list end up detected (via
+        dropping) or aborted — never silently lost."""
+        from repro.atpg import SeqATPGConfig, SequentialATPG
+        from repro.faults import collapse_faults
+
+        faults = collapse_faults(s27_scan.circuit)
+        engine = SequentialATPG(
+            s27_scan.circuit, faults,
+            config=SeqATPGConfig(seed=2, initial_random_vectors=8,
+                                 max_subseq_len=4, restarts=1),
+            targets=faults[:10],
+        )
+        result = engine.generate()
+        assert len(result.detection_time) + len(result.aborted) == len(faults)

@@ -1,0 +1,65 @@
+"""Conventional scan test containers and their cycle accounting."""
+
+import pytest
+
+from repro.circuit.gates import X
+from repro.testseq import ScanTest, ScanTestSet
+
+
+class TestScanTest:
+    def test_basic(self):
+        t = ScanTest(scan_in=(0, 1, 1), vectors=((0, 0, 0, 0),))
+        assert t.functional_cycles == 1
+
+    def test_needs_vectors(self):
+        with pytest.raises(ValueError):
+            ScanTest(scan_in=(0,), vectors=())
+
+    def test_str(self):
+        t = ScanTest(scan_in=(0, 1, X), vectors=((1, 0),))
+        assert str(t) == "(01x, 10)"
+
+
+class TestScanTestSet(object):
+    def test_validation_widths(self, s27_circuit):
+        ts = ScanTestSet(s27_circuit)
+        ts.append(ScanTest((0, 1, 1), ((0, 0, 0, 0),)))
+        with pytest.raises(ValueError):
+            ts.append(ScanTest((0, 1), ((0, 0, 0, 0),)))
+        with pytest.raises(ValueError):
+            ts.append(ScanTest((0, 1, 1), ((0, 0),)))
+
+    def test_needs_sequential_circuit(self, toy_comb_circuit):
+        with pytest.raises(ValueError):
+            ScanTestSet(toy_comb_circuit)
+
+    def test_cycle_accounting_paper_example(self, s27_circuit):
+        """The paper's Table 2 test set: 4 tests, T lengths 4,4,4,8 and
+        N_SV=3 gives 3+4 + 3+4 + 3+4 + 3+8 + 3 = 35 cycles... and indeed
+        Table 3's translated sequence for the first three tests plus the
+        trailing scan-out spans the same count."""
+        ts = ScanTestSet(s27_circuit)
+        for t_len in (4, 4, 4, 8):
+            ts.append(ScanTest((0, 1, 1), tuple(((0, 0, 0, 0),) * t_len)))
+        expected = sum(3 + t for t in (4, 4, 4, 8)) + 3
+        assert ts.total_cycles() == expected
+        assert ts.functional_cycles() == 20
+        assert ts.num_scan_operations == 5
+
+    def test_empty_set(self, s27_circuit):
+        ts = ScanTestSet(s27_circuit)
+        assert ts.total_cycles() == 0
+        assert ts.num_scan_operations == 0
+
+    def test_container_protocol(self, s27_circuit):
+        ts = ScanTestSet(s27_circuit)
+        test = ScanTest((0, 0, 0), ((0, 0, 0, 0),))
+        ts.append(test)
+        assert len(ts) == 1
+        assert ts[0] is test
+        assert list(ts) == [test]
+
+    def test_summary(self, s27_circuit):
+        ts = ScanTestSet(s27_circuit, [ScanTest((0, 0, 0), ((0, 0, 0, 0),))])
+        text = ts.summary()
+        assert "1 tests" in text and "total cycles" in text

@@ -1,0 +1,133 @@
+"""TestSequence container: editing, scan statistics, rendering."""
+
+import random
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.circuit.gates import ONE, X, ZERO
+from repro.testseq import SequenceStats
+from repro.testseq import TestSequence as Sequence
+
+INPUTS = ("a", "b", "scan_sel", "scan_inp")
+
+
+def seq(vectors):
+    return Sequence(INPUTS, vectors, scan_sel="scan_sel")
+
+
+class TestConstruction:
+    def test_basic(self):
+        s = seq([(0, 1, 0, 0), (1, 1, 1, 0)])
+        assert len(s) == 2
+        assert s[0] == (0, 1, 0, 0)
+
+    def test_width_mismatch(self):
+        with pytest.raises(ValueError):
+            seq([(0, 1)])
+
+    def test_unknown_scan_sel(self):
+        with pytest.raises(ValueError):
+            Sequence(("a",), [], scan_sel="nope")
+
+    def test_for_circuit(self, s27_scan):
+        s = Sequence.for_circuit(s27_scan.circuit, [(0,) * 6])
+        assert s.scan_sel == "scan_sel"
+
+    def test_for_circuit_without_scan(self, s27_circuit):
+        s = Sequence.for_circuit(s27_circuit, [(0,) * 4])
+        assert s.scan_sel is None
+        assert s.scan_vector_count() == 0
+
+    def test_equality(self):
+        assert seq([(0, 0, 0, 0)]) == seq([(0, 0, 0, 0)])
+        assert seq([(0, 0, 0, 0)]) != seq([(1, 0, 0, 0)])
+
+    def test_iteration(self):
+        s = seq([(0, 0, 0, 0), (1, 1, 1, 1)])
+        assert list(s) == [(0, 0, 0, 0), (1, 1, 1, 1)]
+
+
+class TestEditing:
+    def test_extended(self):
+        s = seq([(0, 0, 0, 0)]).extended([(1, 1, 1, 1)])
+        assert len(s) == 2
+
+    def test_extended_does_not_mutate(self):
+        base = seq([(0, 0, 0, 0)])
+        base.extended([(1, 1, 1, 1)])
+        assert len(base) == 1
+
+    def test_without(self):
+        s = seq([(0, 0, 0, 0), (1, 1, 1, 1), (0, 1, 0, 1)]).without(1)
+        assert s.vectors == ((0, 0, 0, 0), (0, 1, 0, 1))
+
+    def test_subsequence_sorted_and_deduped(self):
+        s = seq([(i % 2,) * 4 for i in range(5)])
+        sub = s.subsequence([3, 1, 1])
+        assert sub.vectors == (s[1], s[3])
+
+    def test_randomize_x(self):
+        s = seq([(X, ONE, X, ZERO)])
+        filled = s.randomize_x(random.Random(0))
+        assert X not in filled[0]
+        assert filled[0][1] == ONE
+        assert filled[0][3] == ZERO
+
+    def test_randomize_x_deterministic(self):
+        s = seq([(X,) * 4] * 10)
+        a = s.randomize_x(random.Random(42))
+        b = s.randomize_x(random.Random(42))
+        assert a == b
+
+
+class TestScanStats:
+    def test_scan_vector_count(self):
+        s = seq([(0, 0, 1, 0), (0, 0, 0, 0), (0, 0, 1, 1)])
+        assert s.scan_vector_count() == 2
+
+    def test_stats(self):
+        s = seq([(0, 0, 1, 0), (0, 0, 0, 0)])
+        assert s.stats() == SequenceStats(total=2, scan=1)
+        assert "2 cycles" in str(s.stats())
+
+    def test_scan_runs(self):
+        sel = [1, 1, 0, 1, 0, 0, 1, 1, 1]
+        s = seq([(0, 0, v, 0) for v in sel])
+        assert s.scan_runs() == [2, 1, 3]
+
+    def test_scan_runs_trailing(self):
+        s = seq([(0, 0, 1, 0), (0, 0, 1, 0)])
+        assert s.scan_runs() == [2]
+
+    def test_no_scan_column(self):
+        s = Sequence(("a",), [(1,), (0,)])
+        assert s.scan_runs() == []
+        assert s.scan_vector_count() == 0
+
+
+class TestRendering:
+    def test_to_table_header_and_rows(self):
+        s = seq([(0, 1, X, 0)])
+        text = s.to_table()
+        assert "scan_sel" in text.splitlines()[0]
+        assert "x" in text
+
+    def test_to_table_truncation(self):
+        s = seq([(0, 0, 0, 0)] * 10)
+        text = s.to_table(max_rows=3)
+        assert "7 more" in text
+
+    def test_repr(self):
+        assert "2 vectors" in repr(seq([(0,) * 4, (1,) * 4]))
+
+
+@given(sel=st.lists(st.integers(min_value=0, max_value=1), max_size=60))
+def test_scan_runs_partition_scan_count(sel):
+    """Run lengths always sum to the scan vector count, and every run is
+    maximal (no zero-length runs)."""
+    s = seq([(0, 0, v, 0) for v in sel])
+    runs = s.scan_runs()
+    assert sum(runs) == s.scan_vector_count() == sum(sel)
+    assert all(r > 0 for r in runs)

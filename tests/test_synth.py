@@ -1,0 +1,86 @@
+"""Synthetic circuit generator: determinism, structure, testability."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuit import Circuit, random_circuit
+from repro.circuit.bench import write_bench
+
+
+class TestDeterminism:
+    def test_same_seed_same_circuit(self):
+        a = random_circuit("x", 4, 6, 40, seed=3)
+        b = random_circuit("x", 4, 6, 40, seed=3)
+        assert write_bench(a) == write_bench(b)
+
+    def test_different_seed_different_circuit(self):
+        a = random_circuit("x", 4, 6, 40, seed=3)
+        b = random_circuit("x", 4, 6, 40, seed=4)
+        assert write_bench(a) != write_bench(b)
+
+
+class TestStructure:
+    def test_requested_sizes(self):
+        c = random_circuit("x", 5, 7, 50, seed=1)
+        assert c.num_inputs == 5
+        assert c.num_state_vars == 7
+        assert c.num_gates == 50
+
+    def test_combinational_when_no_flops(self):
+        c = random_circuit("x", 3, 0, 10, seed=1)
+        assert c.num_state_vars == 0
+        assert c.num_gates == 10
+
+    def test_no_dead_logic(self):
+        """Every gate output is read by a gate, a flop or a PO."""
+        c = random_circuit("x", 4, 5, 60, seed=9)
+        for gate in c.gates:
+            assert c.fanout_count(gate.output) > 0, f"dead net {gate.output}"
+
+    def test_flop_inputs_distinct_when_possible(self):
+        c = random_circuit("x", 4, 5, 60, seed=9)
+        d_nets = [f.d for f in c.flops]
+        assert len(set(d_nets)) == len(d_nets)
+
+    def test_explicit_output_count(self):
+        c = random_circuit("x", 4, 3, 40, seed=2, num_outputs=5)
+        # At least the requested count (dead-net promotion may add more).
+        assert c.num_outputs >= 1
+
+    def test_validates_as_circuit(self):
+        # Construction runs full Circuit validation; reaching here means
+        # no cycles, no undriven nets, single drivers.
+        c = random_circuit("x", 6, 8, 120, seed=5)
+        assert isinstance(c, Circuit)
+
+
+class TestArgumentValidation:
+    def test_needs_inputs(self):
+        with pytest.raises(ValueError):
+            random_circuit("x", 0, 2, 10, seed=1)
+
+    def test_needs_enough_gates(self):
+        with pytest.raises(ValueError):
+            random_circuit("x", 3, 10, 5, seed=1)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    num_inputs=st.integers(min_value=1, max_value=8),
+    num_flops=st.integers(min_value=0, max_value=10),
+    gates_extra=st.integers(min_value=1, max_value=60),
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+)
+def test_random_circuits_always_valid(num_inputs, num_flops, gates_extra, seed):
+    """Any parameter combination yields a structurally valid circuit with
+    the requested sizes and no dead logic."""
+    num_gates = max(1, num_flops) + gates_extra
+    c = random_circuit("h", num_inputs, num_flops, num_gates, seed=seed)
+    assert c.num_inputs == num_inputs
+    assert c.num_state_vars == num_flops
+    assert c.num_gates == num_gates
+    for gate in c.gates:
+        assert c.fanout_count(gate.output) > 0
+    # Topological order exists (no combinational cycles).
+    assert len(c.topo_gates) == num_gates

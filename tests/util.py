@@ -1,0 +1,11 @@
+"""Shared helpers for the test suite."""
+
+import random
+
+
+def random_vectors(circuit, count, seed=0):
+    """Deterministic random binary vectors aligned with circuit.inputs."""
+    gen = random.Random(seed)
+    return [
+        tuple(gen.randint(0, 1) for _ in circuit.inputs) for _ in range(count)
+    ]
