@@ -6,12 +6,16 @@ so thousands of fault machines ride one pass.  Timed properly via
 pytest-benchmark (multiple rounds) on three circuit scales plus the
 scalar reference simulator and a PODEM run for contrast."""
 
+import time
+
 import pytest
 
+from repro import obs
 from repro.atpg import Podem, comb_view
 from repro.circuit import insert_scan, random_circuit, s27
 from repro.faults import collapse_faults
 from repro.sim import LogicSimulator, PackedFaultSimulator
+from repro.sim.fault_sim import FaultSimResult
 from tests.util import random_vectors
 
 SCALES = {
@@ -76,3 +80,58 @@ def bench_fault_collapsing(benchmark):
     circuit = insert_scan(random_circuit("coll", 16, 29, 300, seed=5)).circuit
     result = benchmark(lambda: collapse_faults(circuit))
     assert result
+
+
+def bench_telemetry_off_overhead(benchmark):
+    """Guard the zero-cost-by-default promise of ``repro.obs``.
+
+    Runs the instrumented ``PackedFaultSimulator.run`` against a replica
+    of the same loop with the telemetry hooks removed and asserts the
+    disabled hooks cost < 2% (min-of-N, interleaved to cancel drift).
+    """
+    circuit, faults = _build("s953-class")
+    sim = PackedFaultSimulator(circuit, faults)
+    vectors = random_vectors(circuit, 32, seed=1)
+
+    def instrumented():
+        return sim.run(vectors)
+
+    def replica():
+        # PackedFaultSimulator.run() with the obs hooks stripped.
+        sim.reset()
+        result = FaultSimResult(faults=list(sim.faults))
+        remaining = sim.fault_mask
+        for t, vector in enumerate(vectors):
+            newly = sim.step(vector) & remaining
+            if newly:
+                remaining &= ~newly
+                for position, fault in enumerate(sim.faults):
+                    bit = 1 << (position + 1)
+                    if newly & bit:
+                        result.detection_time[fault] = t
+            result.num_vectors = t + 1
+        return result
+
+    assert not obs.enabled()
+    assert instrumented().detection_time == replica().detection_time
+
+    best_instrumented = best_replica = None
+    for _ in range(9):
+        start = time.perf_counter()
+        instrumented()
+        elapsed = time.perf_counter() - start
+        if best_instrumented is None or elapsed < best_instrumented:
+            best_instrumented = elapsed
+        start = time.perf_counter()
+        replica()
+        elapsed = time.perf_counter() - start
+        if best_replica is None or elapsed < best_replica:
+            best_replica = elapsed
+
+    overhead = best_instrumented / best_replica - 1.0
+    benchmark.extra_info["overhead_percent"] = round(100.0 * overhead, 3)
+    assert overhead < 0.02, (
+        f"disabled telemetry hooks cost {100.0 * overhead:.2f}% "
+        f"(budget 2%): {best_instrumented:.6f}s vs {best_replica:.6f}s"
+    )
+    benchmark(instrumented)

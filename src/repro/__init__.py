@@ -28,7 +28,9 @@ Layering (see DESIGN.md):
 * :mod:`repro.core` — the paper: scan-aware generation (Section 2),
   test set translation (Section 3), pipelines (Sections 4-5);
 * :mod:`repro.compaction` — vector restoration [23] / omission [22];
-* :mod:`repro.experiments` — the Table 5/6/7 suite and ablations.
+* :mod:`repro.experiments` — the Table 5/6/7 suite and ablations;
+* :mod:`repro.obs` — structured telemetry (metrics registry, timed
+  spans, JSONL run journal), off by default (docs/OBSERVABILITY.md).
 """
 
 from .circuit import (
@@ -92,6 +94,7 @@ from .compaction import (
     subsequence_removal_compact,
 )
 from .analysis import analyze, compute_testability
+from . import obs
 
 __version__ = "1.0.0"
 
@@ -120,5 +123,7 @@ __all__ = [
     "dominance_reduce", "TimeFrameATPG", "unroll",
     "analyze", "compute_testability",
     "TransitionFault", "enumerate_transition_faults",
+    # telemetry
+    "obs",
     "__version__",
 ]

@@ -22,6 +22,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Tuple
 
 from ..circuit.netlist import Circuit
+from ..faults.model import Fault, branch_fault
 
 
 @dataclass(frozen=True)
@@ -67,6 +68,23 @@ class CombView:
         latched, ready for scan-out observation."""
         nets = set(detecting_outputs)
         return [q for q, d in self.pseudo_output_of.items() if d in nets]
+
+
+def view_fault(sequential: Circuit, fault: Fault) -> Fault:
+    """Rewrite a fault of ``sequential`` for injection in its comb view.
+
+    Stem faults and gate-pin / PO-pin branch faults carry over verbatim
+    (net names are preserved).  A branch fault on a flip-flop D pin has
+    no gate site in the view — the flop is gone — but its line *is* the
+    branch feeding the pseudo primary output of the flop's ``d`` net, so
+    it becomes a ``PO:`` branch fault there.  Detection at that pseudo
+    output is exactly "the effect is captured into the flop and scanned
+    out", the full-scan semantics under which D-pin and Q-stem faults
+    are test-equivalent.
+    """
+    if fault.consumer is not None and fault.consumer in sequential.flop_by_q:
+        return branch_fault(fault.net, f"PO:{fault.net}", 0, fault.stuck_at)
+    return fault
 
 
 def comb_view(circuit: Circuit) -> CombView:

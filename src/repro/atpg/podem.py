@@ -42,6 +42,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 from ..circuit.gates import CONTROLLING_VALUE, INVERTING, ONE, X, ZERO, eval_gate, invert
 from ..circuit.netlist import Circuit
 from ..faults.model import BRANCH, STEM, Fault
+from ..obs import context as obs
 
 DETECTED = "detected"
 UNTESTABLE = "untestable"
@@ -109,6 +110,7 @@ class Podem:
         """
         if not faults:
             raise ValueError("run_multi needs at least one fault site")
+        obs.incr("atpg.podem.calls")
         self._prepare(faults)
         representative = faults[0]
         self._assignment: Dict[str, int] = {}
@@ -118,13 +120,13 @@ class Podem:
         self._imply()
         while True:
             if self._detected_outputs():
-                return PodemResult(
+                return self._record(PodemResult(
                     status=DETECTED,
                     fault=representative,
                     assignment=dict(self._assignment),
                     detecting_outputs=self._detected_outputs(),
                     backtracks=backtracks,
-                )
+                ))
             advanced = False
             for objective in self._objectives():
                 pi, value = self._backtrace(*objective)
@@ -139,21 +141,30 @@ class Podem:
             # No viable objective or backtrace dead-ends: backtrack.
             backtracks += 1
             if backtracks > self.backtrack_limit:
-                return PodemResult(status=ABORTED, fault=representative,
-                                   backtracks=backtracks)
+                return self._record(PodemResult(
+                    status=ABORTED, fault=representative,
+                    backtracks=backtracks))
             while stack and stack[-1][2]:
                 pi, _value, _ = stack.pop()
                 del self._assignment[pi]
             if not stack:
-                return PodemResult(
+                return self._record(PodemResult(
                     status=UNTESTABLE, fault=representative,
                     backtracks=backtracks,
-                )
+                ))
             entry = stack[-1]
             entry[1] ^= 1
             entry[2] = True
             self._assignment[entry[0]] = entry[1]
             self._imply()
+
+    @staticmethod
+    def _record(result: PodemResult) -> PodemResult:
+        """Telemetry funnel for every run_multi outcome."""
+        obs.incr(f"atpg.podem.{result.status}")
+        if result.backtracks:
+            obs.incr("atpg.backtracks", result.backtracks)
+        return result
 
     # -- fault site compilation -----------------------------------------------
 

@@ -26,7 +26,7 @@ from ..testseq.scan_tests import ScanTest, ScanTestSet
 from ..faults.collapse import collapse_faults
 from ..faults.model import Fault
 from ..sim.fault_sim import PackedFaultSimulator
-from .comb_view import comb_view
+from .comb_view import comb_view, view_fault
 from .podem import ABORTED, DETECTED, UNTESTABLE, Podem
 from .scan_sim import scan_test_detections
 
@@ -93,11 +93,7 @@ class CombScanATPG:
         for fault in self.faults:
             if fault not in undetected:
                 continue
-            if fault.consumer is not None and fault.consumer in self.circuit.flop_by_q:
-                result.aborted.append(fault)  # not expressible combinationally
-                undetected.discard(fault)
-                continue
-            podem_result = self._podem.run(fault)
+            podem_result = self._podem.run(view_fault(self.circuit, fault))
             if podem_result.status == UNTESTABLE:
                 result.untestable.append(fault)
                 undetected.discard(fault)

@@ -39,7 +39,7 @@ from ..testseq.scan_tests import ScanTest, ScanTestSet
 from ..faults.collapse import collapse_faults
 from ..faults.model import Fault
 from ..sim.fault_sim import PackedFaultSimulator
-from .comb_view import comb_view
+from .comb_view import comb_view, view_fault
 from .podem import ABORTED, UNTESTABLE, Podem
 from .scan_sim import scan_test_detections, scan_test_observability
 
@@ -108,11 +108,7 @@ class SecondApproachATPG:
         for fault in self.faults:
             if not undetected_mask & (1 << position_of[fault]):
                 continue
-            if fault.consumer is not None and fault.consumer in self.circuit.flop_by_q:
-                result.aborted.append(fault)
-                undetected_mask &= ~(1 << position_of[fault])
-                continue
-            podem_result = self._podem.run(fault)
+            podem_result = self._podem.run(view_fault(self.circuit, fault))
             if podem_result.status == UNTESTABLE:
                 result.untestable.append(fault)
                 undetected_mask &= ~(1 << position_of[fault])
@@ -134,10 +130,13 @@ class SecondApproachATPG:
                 result.detected_by.setdefault(detected, index)
 
         if self.config.compact and len(result.test_set):
-            from ..compaction.scan_set import reverse_order_compact
+            from ..compaction.scan_set import reverse_order_compact, trim_test_tails
 
             compacted, detected_by = reverse_order_compact(
                 self.circuit, self.faults, result.test_set
+            )
+            compacted, detected_by = trim_test_tails(
+                self.circuit, self.faults, compacted
             )
             result.test_set = compacted
             result.detected_by = detected_by

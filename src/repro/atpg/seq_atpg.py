@@ -33,6 +33,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 from ..circuit.gates import ONE, X, ZERO
 from ..circuit.netlist import Circuit
 from ..faults.model import Fault
+from ..obs import context as obs
 from ..sim.fault_sim import PackedFaultSimulator
 from ..testseq.sequences import TestSequence
 
@@ -163,17 +164,22 @@ class SequentialATPG:
         for fault in undetected:
             if fault in result.detection_time:
                 continue
+            obs.incr("atpg.seq.targets")
             subsequence, via_hook = self._target(fault, sim)
             if subsequence is None:
+                obs.incr("atpg.seq.aborted")
                 result.aborted.append(fault)
                 continue
+            obs.observe("atpg.seq.subseq_len", len(subsequence))
             self._apply_suffix(sim, subsequence, sequence, result)
             if fault not in result.detection_time:
                 # Verified during search/hook but not confirmed globally —
                 # treat as aborted rather than claim a phantom detection.
+                obs.incr("atpg.seq.aborted")
                 result.aborted.append(fault)
                 continue
             if via_hook:
+                obs.incr("atpg.seq.hook_detections")
                 result.hook_detected.append(fault)
             sim = self._maybe_repack(sim, sequence, result)
 
@@ -197,12 +203,16 @@ class SequentialATPG:
         """Append ``suffix`` to the global sequence, simulating it on the
         global fault simulator and recording first detections."""
         base_time = len(sequence)
+        before = len(result.detection_time)
         for offset, vector in enumerate(suffix):
             newly = sim.step(vector)
             if newly:
                 for fault in sim.faults_from_mask(newly):
                     result.detection_time.setdefault(fault, base_time + offset)
             sequence.append(tuple(vector))
+        dropped = len(result.detection_time) - before
+        if dropped:
+            obs.incr("faultsim.faults_dropped", dropped)
 
     def _maybe_repack(self, sim, sequence, result):
         """Shrink the packed simulator to undetected faults when worth it.
@@ -244,12 +254,16 @@ class SequentialATPG:
             found, trace = self._beam_search(fault, mini, good_state, fault_state)
             if found is not None:
                 return found, False
+            # A failed rollout rewinds the search to the start state — the
+            # sequential analogue of a combinational backtrack.
+            obs.incr("atpg.backtracks")
             if trace is not None and (
                 best_trace is None or len(trace.flops) > len(best_trace.flops)
             ):
                 best_trace = trace
 
         if self.completion_hook is not None:
+            obs.incr("atpg.seq.hook_attempts")
             if best_trace is None:
                 best_trace = PropagationTrace(
                     fault=fault, prefix=[], flops=[],
@@ -275,16 +289,24 @@ class SequentialATPG:
         for _step in range(config.max_subseq_len):
             snapshot = mini.save_state()
             best = None
+            tried = 0
             for _k in range(config.candidates_per_step):
                 candidate = self._candidate_vector(previous, rng)
                 mini.restore_state(snapshot)
+                tried += 1
                 detected = mini.step(candidate)
                 if detected:
+                    if tried > 1:
+                        obs.incr("atpg.backtracks", tried - 1)
                     chosen.append(candidate)
                     return chosen, None
                 score = self._score(fault, mini)
                 if best is None or score > best[0]:
                     best = (score, candidate, mini.save_state())
+            # Every rejected candidate rewound the machine state — the
+            # simulation-based search's analogue of a PODEM backtrack.
+            if tried > 1:
+                obs.incr("atpg.backtracks", tried - 1)
             score, candidate, state = best
             mini.restore_state(state)
             chosen.append(candidate)

@@ -4,6 +4,7 @@ Subcommands::
 
     repro-atpg generate  <circuit> [--seed N] [--no-compact] [--show-sequence]
     repro-atpg translate <circuit> [--seed N]
+    repro-atpg profile   <circuit> [--seed N] [--skip-translation]
     repro-atpg table     {5,6,7}   [--profile quick|default|full]
     repro-atpg analyze   <circuit> [--hardest N]
     repro-atpg report    [--profile ...] [--out FILE]
@@ -13,6 +14,12 @@ Subcommands::
 
 ``<circuit>`` is a suite name (``s27``, ``s298``, ``b01``, ...) or a path
 to a ``.bench`` / structural-``.v`` file of a sequential circuit.
+
+Every subcommand also accepts the telemetry flags ``--trace FILE``
+(stream a JSONL run journal, see :mod:`repro.obs.journal`) and
+``--metrics-out FILE`` (write the metrics/spans JSON artifact after the
+command finishes).  ``profile`` turns telemetry on implicitly and prints
+the per-phase breakdown.
 """
 
 from __future__ import annotations
@@ -22,6 +29,7 @@ import sys
 from pathlib import Path
 from typing import Optional
 
+from . import obs
 from .circuit.bench import load_bench
 from .circuit.netlist import Circuit
 from .core.pipeline import generation_flow, translation_flow
@@ -73,6 +81,17 @@ def _cmd_translate(args: argparse.Namespace) -> int:
     if compacted:
         print(f"test application time: {cycles} -> {compacted} cycles "
               f"({cycles / compacted:.2f}x faster)")
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    circuit = _resolve_circuit(args.circuit)
+    telemetry = obs.active()
+    generation_flow(circuit, seed=args.seed)
+    if not args.skip_translation:
+        translation_flow(circuit, seed=args.seed)
+    print(obs.render_profile(
+        telemetry, title=f"{circuit.name}: per-phase time breakdown"))
     return 0
 
 
@@ -149,61 +168,106 @@ def build_parser() -> argparse.ArgumentParser:
         description="Scan-as-primary-input test generation and compaction "
                     "(Pomeranz & Reddy, DATE 2003 reproduction).",
     )
+    telemetry = argparse.ArgumentParser(add_help=False)
+    telemetry_group = telemetry.add_argument_group("telemetry")
+    telemetry_group.add_argument(
+        "--trace", metavar="FILE", default=None,
+        help="stream a JSONL run journal of structured events to FILE")
+    telemetry_group.add_argument(
+        "--metrics-out", metavar="FILE", default=None,
+        help="write the metrics/spans JSON artifact to FILE on exit")
     sub = parser.add_subparsers(dest="command", required=True)
 
-    gen = sub.add_parser("generate", help="Section 2 generation + Section 4 "
-                                          "compaction on one circuit")
+    gen = sub.add_parser("generate", parents=[telemetry],
+                         help="Section 2 generation + Section 4 "
+                              "compaction on one circuit")
     gen.add_argument("circuit")
     gen.add_argument("--seed", type=int, default=0)
     gen.add_argument("--no-compact", action="store_true")
     gen.add_argument("--show-sequence", action="store_true")
     gen.set_defaults(func=_cmd_generate)
 
-    trans = sub.add_parser("translate", help="Section 3 translation flow "
-                                             "on one circuit")
+    trans = sub.add_parser("translate", parents=[telemetry],
+                           help="Section 3 translation flow on one circuit")
     trans.add_argument("circuit")
     trans.add_argument("--seed", type=int, default=0)
     trans.set_defaults(func=_cmd_translate)
 
-    table = sub.add_parser("table", help="regenerate a paper table")
+    prof = sub.add_parser("profile", parents=[telemetry],
+                          help="run both flows with telemetry on and "
+                               "print the per-phase breakdown")
+    prof.add_argument("circuit")
+    prof.add_argument("--seed", type=int, default=0)
+    prof.add_argument("--skip-translation", action="store_true",
+                      help="profile the generation flow only")
+    prof.set_defaults(func=_cmd_profile)
+
+    table = sub.add_parser("table", parents=[telemetry],
+                           help="regenerate a paper table")
     table.add_argument("number", choices=["5", "6", "7"])
     table.add_argument("--profile", default=None,
                        choices=sorted(suite_mod.PROFILES))
     table.set_defaults(func=_cmd_table)
 
-    rep = sub.add_parser("report", help="run the whole evaluation and "
-                                        "render a markdown report")
+    rep = sub.add_parser("report", parents=[telemetry],
+                         help="run the whole evaluation and "
+                              "render a markdown report")
     rep.add_argument("--profile", default=None,
                      choices=sorted(suite_mod.PROFILES))
     rep.add_argument("--out", default=None)
     rep.set_defaults(func=_cmd_report)
 
-    ana = sub.add_parser("analyze", help="SCOAP testability + structure "
-                                         "report")
+    ana = sub.add_parser("analyze", parents=[telemetry],
+                         help="SCOAP testability + structure report")
     ana.add_argument("circuit")
     ana.add_argument("--hardest", type=int, default=10)
     ana.set_defaults(func=_cmd_analyze)
 
-    exp = sub.add_parser("export", help="generate, compact and export a "
-                                        "test sequence (.vcd / .stil)")
+    exp = sub.add_parser("export", parents=[telemetry],
+                         help="generate, compact and export a "
+                              "test sequence (.vcd / .stil)")
     exp.add_argument("circuit")
     exp.add_argument("output")
     exp.add_argument("--seed", type=int, default=0)
     exp.set_defaults(func=_cmd_export)
 
-    info = sub.add_parser("info", help="print circuit statistics")
+    info = sub.add_parser("info", parents=[telemetry],
+                          help="print circuit statistics")
     info.add_argument("circuit")
     info.set_defaults(func=_cmd_info)
 
-    lst = sub.add_parser("list", help="list suite circuits")
+    lst = sub.add_parser("list", parents=[telemetry],
+                         help="list suite circuits")
     lst.set_defaults(func=_cmd_list)
     return parser
 
 
 def main(argv: Optional[list] = None) -> int:
-    """CLI entry point; returns the process exit code."""
+    """CLI entry point; returns the process exit code.
+
+    ``--trace`` / ``--metrics-out`` (or the ``profile`` subcommand, which
+    implies telemetry) run the dispatched command inside an
+    :func:`repro.obs.session`; the metrics artifact is written after the
+    command returns.
+    """
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    trace = getattr(args, "trace", None)
+    metrics_out = getattr(args, "metrics_out", None)
+    wants_telemetry = (
+        trace is not None or metrics_out is not None
+        or args.command == "profile"
+    )
+    if not wants_telemetry:
+        return args.func(args)
+    with obs.session(trace=trace) as telemetry:
+        status = args.func(args)
+    if metrics_out:
+        meta = {"command": args.command}
+        if getattr(args, "circuit", None):
+            meta["circuit"] = args.circuit
+        obs.write_metrics_json(metrics_out, telemetry, meta=meta)
+        print(f"metrics written to {metrics_out}")
+    return status
 
 
 if __name__ == "__main__":

@@ -7,7 +7,7 @@ from .base import CompactionOracle
 from .omission import OmissionResult, omission_compact
 from .overlapped import overlapped_restoration_compact
 from .restoration import RestorationResult, restoration_compact
-from .scan_set import reverse_order_compact
+from .scan_set import reverse_order_compact, trim_test_tails
 from .subsequences import SubsequenceRemovalResult, subsequence_removal_compact
 
 __all__ = [
@@ -17,6 +17,7 @@ __all__ = [
     "omission_compact",
     "OmissionResult",
     "reverse_order_compact",
+    "trim_test_tails",
     "overlapped_restoration_compact",
     "subsequence_removal_compact",
     "SubsequenceRemovalResult",

@@ -23,6 +23,7 @@ from dataclasses import dataclass, field
 from typing import List, Optional, Sequence
 
 from ..circuit.netlist import Circuit
+from ..obs import context as obs
 from ..testseq.sequences import TestSequence
 from ..faults.model import Fault
 from .base import CompactionOracle
@@ -62,6 +63,7 @@ def omission_compact(
 
     omitted_total = 0
     for _pass in range(max_passes):
+        obs.incr("compaction.omission.passes")
         omitted_this_pass = 0
         checkpoint = oracle.reset_checkpoint()
         prefix_detected = 0
@@ -73,8 +75,10 @@ def omission_compact(
                 omitted_this_pass += len(vectors) - index
                 del vectors[index:]
                 break
+            obs.incr("compaction.omission.attempts")
             trial = vectors[index + 1:]
             if oracle.detects_all(trial, need_after, initial_state=checkpoint):
+                obs.incr("compaction.omission.successes")
                 del vectors[index]
                 omitted_this_pass += 1
                 continue  # same index now holds the next vector
@@ -84,6 +88,7 @@ def omission_compact(
         omitted_total += omitted_this_pass
         if omitted_this_pass == 0:
             break
+    obs.incr("compaction.omission.omitted_vectors", omitted_total)
 
     compacted = TestSequence(sequence.inputs, vectors, scan_sel=sequence.scan_sel)
     final_mask = oracle.detected_mask(vectors)

@@ -25,6 +25,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 from ..circuit.netlist import Circuit
+from ..obs import context as obs
 from ..testseq.sequences import TestSequence
 from ..faults.model import Fault
 from .base import CompactionOracle
@@ -64,10 +65,12 @@ def restoration_compact(
 
     while pending:
         fault = pending[0]
+        obs.incr("compaction.restoration.targets")
         t_f = detection[fault]
         fault_mask = oracle.mask_of([fault])
         span = 1
         while True:
+            obs.incr("compaction.restoration.attempts")
             low = max(0, t_f - span + 1)
             added = False
             for index in range(t_f, low - 1, -1):
@@ -95,6 +98,9 @@ def restoration_compact(
             if not detected_mask & oracle.mask_of([f])
         ]
 
+    obs.incr("compaction.restoration.restored_vectors", len(restored))
+    obs.incr("compaction.restoration.dropped_vectors",
+             len(vectors) - len(restored))
     compacted = sequence.subsequence(restored)
     final_mask = oracle.detected_mask(list(compacted.vectors))
     return RestorationResult(

@@ -56,3 +56,65 @@ def reverse_order_compact(
         for fault in sim.faults_from_mask(detections[original_index]):
             detected_by[fault] = new_index
     return compacted, detected_by
+
+
+def trim_test_tails(
+    circuit: Circuit,
+    faults: Sequence[Fault],
+    test_set: ScanTestSet,
+) -> Tuple[ScanTestSet, Dict[Fault, int]]:
+    """Trailing-vector omission over a conventional scan test set.
+
+    Reverse-order compaction can only drop whole tests; extension-grown
+    tests often keep functional vectors whose detections are by now
+    covered elsewhere in the set.  This pass shortens each test from the
+    tail (``|T| >= 1`` is preserved) whenever every fault the dropped
+    vectors detected is still detected by some other test — so total
+    detection never shrinks while cycle counts only go down.
+
+    Returns the trimmed set and the fault -> first-detecting-test map.
+    """
+    sim = PackedFaultSimulator(circuit, faults)
+    tests = list(test_set)
+    masks = [scan_test_detections(sim, t) for t in tests]
+
+    cover_count: Dict[int, int] = {}  # bit position -> tests detecting it
+    for mask in masks:
+        position = 0
+        while mask:
+            if mask & 1:
+                cover_count[position] = cover_count.get(position, 0) + 1
+            mask >>= 1
+            position += 1
+
+    def bits(mask: int) -> List[int]:
+        out = []
+        position = 0
+        while mask:
+            if mask & 1:
+                out.append(position)
+            mask >>= 1
+            position += 1
+        return out
+
+    for index in range(len(tests) - 1, -1, -1):
+        while len(tests[index].vectors) > 1:
+            candidate = tests[index].__class__(
+                tests[index].scan_in, tests[index].vectors[:-1]
+            )
+            new_mask = scan_test_detections(sim, candidate)
+            lost = masks[index] & ~new_mask
+            if any(cover_count.get(b, 0) < 2 for b in bits(lost)):
+                break
+            for b in bits(lost):
+                cover_count[b] -= 1
+            for b in bits(new_mask & ~masks[index]):
+                cover_count[b] = cover_count.get(b, 0) + 1
+            tests[index] = candidate
+            masks[index] = new_mask
+
+    detected_by: Dict[Fault, int] = {}
+    for index, mask in enumerate(masks):
+        for fault in sim.faults_from_mask(mask):
+            detected_by.setdefault(fault, index)
+    return ScanTestSet(circuit, tests), detected_by

@@ -15,7 +15,6 @@ Both return rich result objects; the experiment modules only format.
 from __future__ import annotations
 
 import random
-import time
 from dataclasses import dataclass, field
 from typing import List, Optional
 
@@ -29,6 +28,7 @@ from ..compaction.omission import OmissionResult, omission_compact
 from ..compaction.restoration import RestorationResult, restoration_compact
 from ..faults.collapse import collapse_faults
 from ..faults.model import Fault
+from ..obs import context as obs
 from .scan_aware import ScanATPGResult, ScanAwareATPG
 
 if False:  # pragma: no cover - import-time cycle avoidance; see TYPE notes
@@ -119,38 +119,43 @@ def generation_flow(
     ``circuit`` is the *non-scan* circuit; scan insertion, fault
     enumeration/collapsing and everything downstream happen here.
     """
-    started = time.perf_counter()
     config = config or SeqATPGConfig(seed=seed)
-    scan_circuit = insert_scan(circuit, num_chains=num_chains)
-    faults = collapse_faults(scan_circuit.circuit)
-    atpg = ScanAwareATPG(
-        scan_circuit,
-        faults,
-        config=config,
-        use_scan_knowledge=use_scan_knowledge,
-        use_justification=use_justification,
-    ).generate()
-    result = GenerationFlowResult(
-        circuit=circuit,
-        scan_circuit=scan_circuit,
-        faults=faults,
-        atpg=atpg,
-        raw=atpg.sequence,
-    )
-    if classify_redundant and atpg.base.aborted:
-        podem = Podem(
-            comb_view(scan_circuit.circuit).circuit,
-            backtrack_limit=redundancy_backtrack_limit,
+    with obs.stopwatch("pipeline.generation") as root:
+        with obs.span("scan_insert"):
+            scan_circuit = insert_scan(circuit, num_chains=num_chains)
+        with obs.span("collapse"):
+            faults = collapse_faults(scan_circuit.circuit)
+        with obs.span("atpg"):
+            atpg = ScanAwareATPG(
+                scan_circuit,
+                faults,
+                config=config,
+                use_scan_knowledge=use_scan_knowledge,
+                use_justification=use_justification,
+            ).generate()
+        result = GenerationFlowResult(
+            circuit=circuit,
+            scan_circuit=scan_circuit,
+            faults=faults,
+            atpg=atpg,
+            raw=atpg.sequence,
         )
-        for fault in atpg.base.aborted:
-            if fault.consumer is not None and \
-                    fault.consumer in scan_circuit.circuit.flop_by_q:
-                continue
-            if podem.run(fault).status == UNTESTABLE:
-                result.untestable.append(fault)
-    if compact:
-        _compact_into(result, scan_circuit.circuit, atpg.sequence, faults)
-    result.elapsed_seconds = time.perf_counter() - started
+        obs.coverage("pipeline.atpg", result.detected_total, len(faults))
+        if classify_redundant and atpg.base.aborted:
+            with obs.span("redundancy"):
+                podem = Podem(
+                    comb_view(scan_circuit.circuit).circuit,
+                    backtrack_limit=redundancy_backtrack_limit,
+                )
+                for fault in atpg.base.aborted:
+                    if fault.consumer is not None and \
+                            fault.consumer in scan_circuit.circuit.flop_by_q:
+                        continue
+                    if podem.run(fault).status == UNTESTABLE:
+                        result.untestable.append(fault)
+        if compact:
+            _compact_into(result, scan_circuit.circuit, atpg.sequence, faults)
+    result.elapsed_seconds = root.duration
     return result
 
 
@@ -200,26 +205,30 @@ def translation_flow(
     """
     from ..atpg.scan_seq import SecondApproachATPG, SecondApproachConfig
 
-    started = time.perf_counter()
-    scan_circuit = insert_scan(circuit, num_chains=num_chains)
-    faults = collapse_faults(scan_circuit.circuit)
-    if baseline is None:
-        baseline_config = baseline_config or SecondApproachConfig(seed=seed)
-        baseline = SecondApproachATPG(
-            circuit, config=baseline_config
-        ).generate()
-    translated = translate_test_set(scan_circuit, baseline.test_set)
-    translated = translated.randomize_x(random.Random(seed ^ 0x7EA5))
-    result = TranslationFlowResult(
-        circuit=circuit,
-        scan_circuit=scan_circuit,
-        faults=faults,
-        baseline=baseline,
-        translated=translated,
-    )
-    if compact:
-        _compact_into(result, scan_circuit.circuit, translated, faults)
-    result.elapsed_seconds = time.perf_counter() - started
+    with obs.stopwatch("pipeline.translation") as root:
+        with obs.span("scan_insert"):
+            scan_circuit = insert_scan(circuit, num_chains=num_chains)
+        with obs.span("collapse"):
+            faults = collapse_faults(scan_circuit.circuit)
+        if baseline is None:
+            baseline_config = baseline_config or SecondApproachConfig(seed=seed)
+            with obs.span("baseline_atpg"):
+                baseline = SecondApproachATPG(
+                    circuit, config=baseline_config
+                ).generate()
+        with obs.span("translate"):
+            translated = translate_test_set(scan_circuit, baseline.test_set)
+            translated = translated.randomize_x(random.Random(seed ^ 0x7EA5))
+        result = TranslationFlowResult(
+            circuit=circuit,
+            scan_circuit=scan_circuit,
+            faults=faults,
+            baseline=baseline,
+            translated=translated,
+        )
+        if compact:
+            _compact_into(result, scan_circuit.circuit, translated, faults)
+    result.elapsed_seconds = root.duration
     return result
 
 
@@ -227,7 +236,9 @@ def _compact_into(result, circuit: Circuit, sequence: TestSequence, faults) -> N
     """Shared Section 4 tail: restoration (on the detected set), then
     omission (accounted over the full universe so ``ext det`` shows)."""
     oracle = CompactionOracle(circuit, faults)
-    restored = restoration_compact(circuit, sequence, faults, oracle=oracle)
-    omitted = omission_compact(circuit, restored.sequence, faults, oracle=oracle)
+    with obs.span("restoration"):
+        restored = restoration_compact(circuit, sequence, faults, oracle=oracle)
+    with obs.span("omission"):
+        omitted = omission_compact(circuit, restored.sequence, faults, oracle=oracle)
     result.restored = restored
     result.omitted = omitted

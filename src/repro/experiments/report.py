@@ -9,17 +9,23 @@ scratch so reviewers can diff a fresh run against the committed record.
 
 from __future__ import annotations
 
-import time
+from contextlib import nullcontext
 from pathlib import Path
 from typing import List, Optional
 
+from .. import obs
 from . import ablations, suite, table5, table6, table7
 
 
 def build_report(profile: Optional[str] = None) -> str:
-    """Run the full evaluation and return the report text."""
+    """Run the full evaluation and return the report text.
+
+    Each table/ablation runs inside a ``report.*`` telemetry span, so a
+    surrounding :func:`repro.obs.session` (e.g. ``repro-atpg report
+    --metrics-out``) yields a per-section time breakdown alongside the
+    pipeline metrics.
+    """
     profile = suite.active_profile(profile)
-    started = time.perf_counter()
     sections: List[str] = [
         "# repro experiment report",
         "",
@@ -31,28 +37,30 @@ def build_report(profile: Optional[str] = None) -> str:
         "",
     ]
 
-    sections.append("```\n" + table5.render(table5.collect(profile)) + "\n```")
-    sections.append("")
-    sections.append("```\n" + table6.render(table6.collect(profile)) + "\n```")
-    sections.append("")
-    sections.append("```\n" + table7.render(table7.collect(profile)) + "\n```")
-    sections.append("")
+    with obs.stopwatch("report.build") as watch:
+        for label, collector, renderer in (
+            ("table5", table5.collect, table5.render),
+            ("table6", table6.collect, table6.render),
+            ("table7", table7.collect, table7.render),
+        ):
+            with obs.span(f"report.{label}"):
+                sections.append("```\n" + renderer(collector(profile)) + "\n```")
+            sections.append("")
+        for label, collector, renderer in (
+            ("scan_knowledge", ablations.ablate_scan_knowledge,
+             ablations.render_scan_knowledge),
+            ("compaction", ablations.ablate_compaction,
+             ablations.render_compaction),
+            ("limited_scan", ablations.ablate_limited_scan,
+             ablations.render_limited_scan),
+            ("restoration_variants", ablations.ablate_restoration_variants,
+             ablations.render_restoration_variants),
+        ):
+            with obs.span(f"report.ablation.{label}"):
+                sections.append("```\n" + renderer(collector(profile)) + "\n```")
+            sections.append("")
 
-    sections.append("```\n" + ablations.render_scan_knowledge(
-        ablations.ablate_scan_knowledge(profile)) + "\n```")
-    sections.append("")
-    sections.append("```\n" + ablations.render_compaction(
-        ablations.ablate_compaction(profile)) + "\n```")
-    sections.append("")
-    sections.append("```\n" + ablations.render_limited_scan(
-        ablations.ablate_limited_scan(profile)) + "\n```")
-    sections.append("")
-    sections.append("```\n" + ablations.render_restoration_variants(
-        ablations.ablate_restoration_variants(profile)) + "\n```")
-    sections.append("")
-
-    elapsed = time.perf_counter() - started
-    sections.append(f"_generated in {elapsed:.1f}s_")
+    sections.append(f"_generated in {watch.duration:.1f}s_")
     return "\n".join(sections) + "\n"
 
 
@@ -63,9 +71,20 @@ def write_report(path, profile: Optional[str] = None) -> str:
     return text
 
 
-def main(profile: Optional[str] = None) -> str:
-    """Build, print and return the report."""
-    text = build_report(profile)
+def main(profile: Optional[str] = None,
+         metrics_out: Optional[str] = None) -> str:
+    """Build, print and return the report.
+
+    ``metrics_out`` writes the telemetry artifact of the run; when no
+    session is active one is opened for the duration of the build.
+    """
+    needs_session = metrics_out is not None and not obs.enabled()
+    scope = obs.session() if needs_session else nullcontext(obs.active())
+    with scope as telemetry:
+        text = build_report(profile)
+        if metrics_out is not None and telemetry is not None:
+            obs.write_metrics_json(metrics_out, telemetry,
+                                   meta={"command": "report"})
     print(text)
     return text
 

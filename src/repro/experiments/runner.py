@@ -16,6 +16,7 @@ from ..core.pipeline import (
     generation_flow,
     translation_flow,
 )
+from ..obs import context as obs
 from . import suite
 
 _GENERATION: Dict[str, GenerationFlowResult] = {}
@@ -33,14 +34,17 @@ def generation_result(name: str, use_scan_knowledge: bool = True,
     tier = suite.spec_of(name).tier
     redundancy_limit = {"tiny": 20000, "small": 20000,
                         "medium": 4000}.get(tier, 1500)
-    result = generation_flow(
-        suite.build_circuit(name),
-        seed=suite.circuit_seed(name),
-        config=suite.atpg_config_for(name),
-        use_scan_knowledge=use_scan_knowledge,
-        use_justification=use_justification,
-        redundancy_backtrack_limit=redundancy_limit,
-    )
+    with obs.span(f"experiments.generation.{name}"):
+        result = generation_flow(
+            suite.build_circuit(name),
+            seed=suite.circuit_seed(name),
+            config=suite.atpg_config_for(name),
+            use_scan_knowledge=use_scan_knowledge,
+            use_justification=use_justification,
+            redundancy_backtrack_limit=redundancy_limit,
+        )
+    obs.event("experiments.generation", circuit=name,
+              cached=False, elapsed=round(result.elapsed_seconds, 6))
     if cacheable:
         _GENERATION[name] = result
     return result
@@ -49,21 +53,24 @@ def generation_result(name: str, use_scan_knowledge: bool = True,
 def baseline_result(name: str) -> SecondApproachResult:
     """Conventional second-approach baseline for one suite circuit."""
     if name not in _BASELINE:
-        _BASELINE[name] = SecondApproachATPG(
-            suite.build_circuit(name),
-            config=suite.baseline_config_for(name),
-        ).generate()
+        with obs.span(f"experiments.baseline.{name}"):
+            _BASELINE[name] = SecondApproachATPG(
+                suite.build_circuit(name),
+                config=suite.baseline_config_for(name),
+            ).generate()
     return _BASELINE[name]
 
 
 def translation_result(name: str) -> TranslationFlowResult:
     """Section 3 flow for one suite circuit, sharing the baseline."""
     if name not in _TRANSLATION:
-        _TRANSLATION[name] = translation_flow(
-            suite.build_circuit(name),
-            seed=suite.circuit_seed(name),
-            baseline=baseline_result(name),
-        )
+        baseline = baseline_result(name)
+        with obs.span(f"experiments.translation.{name}"):
+            _TRANSLATION[name] = translation_flow(
+                suite.build_circuit(name),
+                seed=suite.circuit_seed(name),
+                baseline=baseline,
+            )
     return _TRANSLATION[name]
 
 

@@ -12,8 +12,18 @@ NAND          any input SA0  ==  output SA1
 OR            any input SA1  ==  output SA1
 NOR           any input SA1  ==  output SA0
 NOT / BUF     both input faults ==  matching output fault
-DFF           D-pin fault    ==  Q stem fault (a flip-flop only delays)
 ============  ==========================================
+
+Flip-flop D-pin faults are deliberately *not* merged with the Q stem.
+The textbook "a flip-flop only delays" rule is sound for the
+combinational (full-scan) array, but not for sequential simulation from
+the X power-up state this reproduction uses: a Q-stem SA-v forces Q=v
+already in cycle 0, while a D-pin SA-v leaves Q at its power-up X until
+the first clock edge.  The two faulty machines therefore diverge in
+cycle 0 and can be first-detected at different times (or one not at
+all, if the sequence ends early) — they are not equivalent under the
+"detected by exactly the same vectors" definition the simulator and the
+property suite enforce.
 
 The "line" of a gate input pin is the branch fault when the driving net
 fans out, and the driver's stem fault otherwise — so classes chain
@@ -36,8 +46,8 @@ def _representative_key(fault: Fault):
 
     Stem faults are preferred over branch faults: stem representatives
     remain directly injectable when a sequential circuit is rewritten as
-    its combinational view (flip-flop D-pin branch consumers disappear
-    there, but their classes are always anchored by a Q stem fault).
+    its combinational view (where gate structure is preserved but
+    flip-flops disappear).
     """
     return (
         0 if fault.kind == "stem" else 1,
@@ -110,11 +120,6 @@ def equivalence_classes(circuit: Circuit,
         target = stem_fault(out, out_sa)
         for pin, net in enumerate(gate.inputs):
             uf.union(_input_line_fault(circuit, out, pin, net, merged_sa), target)
-
-    for flop in circuit.flops:
-        for value in (0, 1):
-            pin_fault = _input_line_fault(circuit, flop.q, 0, flop.d, value)
-            uf.union(pin_fault, stem_fault(flop.q, value))
 
     return {fault: uf.find(fault) for fault in universe}
 

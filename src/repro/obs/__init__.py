@@ -1,0 +1,88 @@
+"""repro.obs — structured telemetry for the ATPG → fault-sim →
+compaction pipeline.
+
+Three cooperating pieces (``docs/OBSERVABILITY.md`` has the full guide):
+
+* a **metrics registry** of named counters / gauges / histograms
+  (:mod:`~repro.obs.metrics`), populated by instrumentation hooks in the
+  hot layers under the ``atpg.*`` / ``faultsim.*`` / ``compaction.*`` /
+  ``pipeline.*`` namespaces;
+* **nestable timed spans** (:mod:`~repro.obs.spans`) with a
+  context-manager / decorator API, giving per-phase wall-clock
+  breakdowns;
+* an optional **JSONL run journal** (:mod:`~repro.obs.journal`)
+  streaming structured events (span boundaries, metric snapshots,
+  coverage deltas) to a file as they happen.
+
+Telemetry is **off by default and free when off**: every hook is a
+global load plus an ``is None`` test until a session is opened with
+:func:`session` (the CLI's ``--trace`` / ``--metrics-out`` flags do
+this).  :mod:`~repro.obs.report` renders a finished session as the
+``repro-atpg profile`` table or the cross-PR metrics JSON artifact.
+
+Typical use::
+
+    from repro import obs
+    from repro.obs import write_metrics_json
+
+    with obs.session(trace="s27.jsonl") as telemetry:
+        flow = generation_flow(s27())
+    write_metrics_json("s27-metrics.json", telemetry)
+"""
+
+from .context import (
+    Telemetry,
+    activate,
+    active,
+    coverage,
+    deactivate,
+    enabled,
+    event,
+    incr,
+    observe,
+    session,
+    set_gauge,
+    span,
+    stopwatch,
+    timed,
+)
+from .journal import SCHEMA as JOURNAL_SCHEMA
+from .journal import RunJournal, read_journal
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .report import (
+    METRICS_SCHEMA,
+    metrics_artifact,
+    render_profile,
+    write_metrics_json,
+)
+from .spans import SpanLog, SpanRecord
+
+__all__ = [
+    "Telemetry",
+    "session",
+    "active",
+    "activate",
+    "deactivate",
+    "enabled",
+    "incr",
+    "set_gauge",
+    "observe",
+    "event",
+    "coverage",
+    "span",
+    "stopwatch",
+    "timed",
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "SpanLog",
+    "SpanRecord",
+    "RunJournal",
+    "read_journal",
+    "JOURNAL_SCHEMA",
+    "METRICS_SCHEMA",
+    "metrics_artifact",
+    "render_profile",
+    "write_metrics_json",
+]

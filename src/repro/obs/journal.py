@@ -1,0 +1,95 @@
+"""JSONL run journal: a line-per-event stream of what a run did.
+
+Every event is one JSON object on its own line::
+
+    {"seq": 3, "t": 0.014201, "type": "span.open",
+     "data": {"path": "pipeline.generation/atpg", "depth": 1}}
+
+Fixed keys:
+
+``seq``
+    Monotonically increasing event index (0-based, gap-free).
+``t``
+    Seconds since the journal was opened (``time.perf_counter`` delta —
+    monotonic, sub-microsecond).
+``type``
+    Dotted event kind.  Core kinds: ``journal.open`` / ``journal.close``
+    (lifecycle, carry the schema tag and wall-clock time),
+    ``span.open`` / ``span.close`` (phase boundaries; close carries the
+    duration), ``metrics.snapshot`` (full registry dump), ``coverage``
+    (per-phase fault-coverage deltas).  Instrumented code may emit
+    additional kinds; consumers must ignore kinds they do not know.
+``data``
+    Kind-specific payload object.
+
+The writer flushes after every line so a crashed or killed run leaves a
+readable journal up to its last event — the point of a journal.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import Dict, List, Union
+
+SCHEMA = "repro.obs.journal/1"
+
+
+class RunJournal:
+    """Streaming JSONL event writer (see module docstring for schema)."""
+
+    def __init__(self, path: Union[str, Path]):
+        self.path = Path(path)
+        self._fh = self.path.open("w", encoding="utf-8")
+        self._seq = 0
+        self._t0 = time.perf_counter()
+        self.closed = False
+        self.emit("journal.open", schema=SCHEMA, wall_time=time.time())
+
+    def emit(self, event_type: str, **data) -> None:
+        """Write one event; no-op after :meth:`close`."""
+        if self.closed:
+            return
+        record = {
+            "seq": self._seq,
+            "t": round(time.perf_counter() - self._t0, 6),
+            "type": event_type,
+            "data": data,
+        }
+        self._seq += 1
+        self._fh.write(json.dumps(record, separators=(",", ":"),
+                                  sort_keys=True) + "\n")
+        self._fh.flush()
+
+    def close(self) -> None:
+        if self.closed:
+            return
+        self.emit("journal.close", wall_time=time.time())
+        self.closed = True
+        self._fh.close()
+
+
+def read_journal(path: Union[str, Path]) -> List[Dict]:
+    """Parse a journal back into event dicts, validating the invariants
+    (schema tag on the first event, gap-free ``seq``, monotonic ``t``)."""
+    events: List[Dict] = []
+    with Path(path).open(encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                events.append(json.loads(line))
+    if not events:
+        return events
+    first = events[0]
+    if first["type"] != "journal.open" or \
+            first["data"].get("schema") != SCHEMA:
+        raise ValueError(f"{path}: not a {SCHEMA} journal")
+    previous_t = 0.0
+    for index, event in enumerate(events):
+        if event["seq"] != index:
+            raise ValueError(f"{path}: seq gap at event {index}")
+        if event["t"] < previous_t:
+            raise ValueError(f"{path}: time went backwards at event {index}")
+        previous_t = event["t"]
+    return events

@@ -1,0 +1,174 @@
+"""Named counters, gauges and histograms behind a process-wide registry.
+
+The metric namespace mirrors the package layering (see
+``docs/OBSERVABILITY.md`` for the full catalogue):
+
+* ``atpg.*`` — decision statistics of the generation engines (PODEM
+  calls and backtracks, beam-search rollouts, completion-hook usage),
+* ``faultsim.*`` — simulation throughput (runs, simulated cycles,
+  fault-drop counts),
+* ``compaction.*`` — restoration / omission attempt and success counts,
+* ``pipeline.*`` — per-phase coverage gauges of the end-to-end flows.
+
+Everything here is plain bookkeeping with no I/O; the hot-path guard
+lives in :mod:`repro.obs.context`, which only forwards to a registry
+when telemetry was explicitly requested.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+
+class Counter:
+    """A monotonically growing named count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def add(self, amount: int = 1) -> None:
+        self.value += amount
+
+    def reset(self) -> None:
+        self.value = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Counter({self.name!r}, {self.value})"
+
+
+class Gauge:
+    """A named value that is *set*, not accumulated (coverage, sizes)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value: float = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def reset(self) -> None:
+        self.value = 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Gauge({self.name!r}, {self.value})"
+
+
+class Histogram:
+    """Streaming summary of an observed distribution.
+
+    Keeps count / total / min / max (constant memory, enough for the
+    per-phase breakdowns and cross-PR comparisons this layer feeds);
+    callers needing exact quantiles should journal the raw samples.
+    """
+
+    __slots__ = ("name", "count", "total", "min", "max")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def reset(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.min = None
+        self.max = None
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "count": self.count,
+            "total": self.total,
+            "mean": self.mean,
+            "min": self.min,
+            "max": self.max,
+        }
+
+
+class MetricsRegistry:
+    """All metrics of one telemetry session, by kind and name.
+
+    Metrics are created lazily on first touch, so instrumented code never
+    has to pre-declare anything.  A name lives in exactly one kind;
+    reusing a counter name as a gauge is a programming error and raises.
+    """
+
+    def __init__(self):
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    # -- access / creation -------------------------------------------------
+
+    def counter(self, name: str) -> Counter:
+        metric = self._counters.get(name)
+        if metric is None:
+            self._check_free(name, self._counters)
+            metric = self._counters[name] = Counter(name)
+        return metric
+
+    def gauge(self, name: str) -> Gauge:
+        metric = self._gauges.get(name)
+        if metric is None:
+            self._check_free(name, self._gauges)
+            metric = self._gauges[name] = Gauge(name)
+        return metric
+
+    def histogram(self, name: str) -> Histogram:
+        metric = self._histograms.get(name)
+        if metric is None:
+            self._check_free(name, self._histograms)
+            metric = self._histograms[name] = Histogram(name)
+        return metric
+
+    def _check_free(self, name: str, own: dict) -> None:
+        for kind in (self._counters, self._gauges, self._histograms):
+            if kind is not own and name in kind:
+                raise ValueError(f"metric name {name!r} already used "
+                                 f"with a different kind")
+
+    # -- convenience forwarding ------------------------------------------------
+
+    def incr(self, name: str, amount: int = 1) -> None:
+        self.counter(name).add(amount)
+
+    def set_gauge(self, name: str, value: float) -> None:
+        self.gauge(name).set(value)
+
+    def observe(self, name: str, value: float) -> None:
+        self.histogram(name).observe(value)
+
+    # -- snapshots ----------------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, Dict]:
+        """Plain-data view of every metric, deterministically ordered."""
+        return {
+            "counters": {n: c.value
+                         for n, c in sorted(self._counters.items())},
+            "gauges": {n: g.value for n, g in sorted(self._gauges.items())},
+            "histograms": {n: h.as_dict()
+                           for n, h in sorted(self._histograms.items())},
+        }
+
+    def reset(self) -> None:
+        for kind in (self._counters, self._gauges, self._histograms):
+            for metric in kind.values():
+                metric.reset()

@@ -1,0 +1,95 @@
+"""Turning a telemetry session into artifacts: the metrics JSON written
+by ``--metrics-out`` (comparable across PRs, feeding the ``BENCH_*``
+trajectory) and the per-phase breakdown table ``repro-atpg profile``
+prints.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import sys
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from ..reporting.tables import format_table
+from .context import Telemetry
+
+METRICS_SCHEMA = "repro.obs.metrics/1"
+
+
+def metrics_artifact(telemetry: Telemetry,
+                     meta: Optional[Dict] = None) -> Dict:
+    """Plain-data dump of one session: metadata, every metric, and the
+    per-phase span aggregation.  ``json.dumps``-able as is."""
+    spans = [
+        {
+            "path": path,
+            "count": entry["count"],
+            "total_seconds": round(entry["total_seconds"], 6),
+            "depth": entry["depth"],
+        }
+        for path, entry in telemetry.spans.aggregate().items()
+    ]
+    snapshot = telemetry.metrics.snapshot()
+    return {
+        "schema": METRICS_SCHEMA,
+        "meta": {
+            "python": sys.version.split()[0],
+            "platform": platform.platform(),
+            **(meta or {}),
+        },
+        "counters": snapshot["counters"],
+        "gauges": snapshot["gauges"],
+        "histograms": snapshot["histograms"],
+        "spans": spans,
+    }
+
+
+def write_metrics_json(path: Union[str, Path], telemetry: Telemetry,
+                       meta: Optional[Dict] = None) -> Dict:
+    """Write the artifact to ``path``; returns it."""
+    artifact = metrics_artifact(telemetry, meta=meta)
+    Path(path).write_text(json.dumps(artifact, indent=2, sort_keys=True)
+                          + "\n")
+    return artifact
+
+
+def render_profile(telemetry: Telemetry, title: Optional[str] = None) -> str:
+    """Human-readable per-phase time/counter breakdown of one session."""
+    aggregated = telemetry.spans.aggregate()
+    total = sum(
+        entry["total_seconds"]
+        for entry in aggregated.values()
+        if entry["depth"] == 0
+    )
+    span_rows: List[List[object]] = []
+    for path, entry in aggregated.items():
+        leaf = path.rsplit("/", 1)[-1]
+        label = "  " * entry["depth"] + leaf
+        seconds = entry["total_seconds"]
+        share = 100.0 * seconds / total if total else 0.0
+        span_rows.append([label, entry["count"], seconds, share])
+    sections = [
+        format_table(
+            ["phase", "calls", "seconds", "share%"],
+            span_rows,
+            title=title or "per-phase time breakdown",
+        )
+    ]
+
+    counters = telemetry.metrics.snapshot()["counters"]
+    if counters:
+        sections.append(format_table(
+            ["counter", "value"],
+            sorted(counters.items()),
+            title="counters",
+        ))
+    gauges = telemetry.metrics.snapshot()["gauges"]
+    if gauges:
+        sections.append(format_table(
+            ["gauge", "value"],
+            sorted(gauges.items()),
+            title="gauges",
+        ))
+    return "\n\n".join(sections)

@@ -1,0 +1,91 @@
+"""Nestable timed spans.
+
+A span is one timed region of execution (a pipeline phase, an ATPG
+targeting pass, one compaction sweep).  Spans nest: the log keeps a
+stack of open spans and names each completed record by its dotted
+*path* — ``pipeline.generation/atpg`` is an ``atpg`` span opened while
+``pipeline.generation`` was open.  Aggregation by path gives the
+per-phase time breakdown that ``repro-atpg profile`` prints and the
+metrics artifact exports.
+
+Timing uses ``time.perf_counter`` (monotonic); wall-clock correlation
+is the journal's job.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+
+@dataclass(frozen=True)
+class SpanRecord:
+    """One completed span."""
+
+    path: str       # "parent/child" chain of names
+    name: str       # leaf name
+    depth: int      # nesting depth at open time (0 = root)
+    start: float    # perf_counter at open
+    end: float      # perf_counter at close
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+class SpanLog:
+    """Open-span stack plus the completed-record list of one session."""
+
+    def __init__(self):
+        self._stack: List[Tuple[str, str, float]] = []  # (name, path, start)
+        self.records: List[SpanRecord] = []
+
+    @property
+    def depth(self) -> int:
+        return len(self._stack)
+
+    @property
+    def current_path(self) -> str:
+        return self._stack[-1][1] if self._stack else ""
+
+    def open(self, name: str) -> str:
+        """Open a nested span; returns its dotted path."""
+        if "/" in name:
+            raise ValueError(f"span name may not contain '/': {name!r}")
+        parent = self.current_path
+        path = f"{parent}/{name}" if parent else name
+        self._stack.append((name, path, time.perf_counter()))
+        return path
+
+    def close(self) -> SpanRecord:
+        """Close the innermost open span and record it."""
+        if not self._stack:
+            raise RuntimeError("no open span to close")
+        name, path, start = self._stack.pop()
+        record = SpanRecord(
+            path=path,
+            name=name,
+            depth=len(self._stack),
+            start=start,
+            end=time.perf_counter(),
+        )
+        self.records.append(record)
+        return record
+
+    def aggregate(self) -> Dict[str, Dict[str, float]]:
+        """Per-path totals over completed spans, ordered by first *open*
+        time (so parents precede their children, siblings keep run order).
+        """
+        result: Dict[str, Dict[str, float]] = {}
+        for record in self.records:
+            entry = result.setdefault(
+                record.path,
+                {"count": 0, "total_seconds": 0.0, "depth": record.depth,
+                 "first_start": record.start},
+            )
+            entry["count"] += 1
+            entry["total_seconds"] += record.duration
+            entry["first_start"] = min(entry["first_start"], record.start)
+        return dict(sorted(result.items(),
+                           key=lambda item: item[1]["first_start"]))

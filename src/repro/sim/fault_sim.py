@@ -43,6 +43,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 from ..circuit.gates import ONE, X, ZERO
 from ..circuit.netlist import Circuit
 from ..faults.model import BRANCH, STEM, Fault
+from ..obs import context as obs
 from .logic_sim import vector_from_string
 
 # Gate kind codes for the dispatch in the inner loop.
@@ -424,6 +425,10 @@ class PackedFaultSimulator:
             result.num_vectors = t + 1
             if stop_when_all_detected and remaining == 0:
                 break
+        obs.incr("faultsim.runs")
+        obs.incr("faultsim.cycles", result.num_vectors)
+        if result.detection_time:
+            obs.incr("faultsim.faults_dropped", len(result.detection_time))
         return result
 
     def detects_all(self, vectors: Sequence[Sequence[int]]) -> bool:

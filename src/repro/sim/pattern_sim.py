@@ -28,6 +28,7 @@ from typing import Dict, Iterable, List, Sequence, Tuple
 
 from ..circuit.gates import ONE, X, ZERO, eval_gate_packed
 from ..circuit.netlist import Circuit
+from ..obs import context as obs
 
 
 class PackedPatternSimulator:
@@ -143,10 +144,13 @@ class PackedPatternSimulator:
             raise ValueError("all lane sequences must share one length")
         self.reset()
         per_lane: List[List[Tuple[int, ...]]] = [[] for _ in range(self.width)]
-        for t in range(lengths.pop()):
+        cycles = lengths.pop()
+        for t in range(cycles):
             outputs = self.step([seq[t] for seq in sequences])
             for lane, out in enumerate(outputs):
                 per_lane[lane].append(out)
+        obs.incr("faultsim.pattern.runs")
+        obs.incr("faultsim.pattern.cycles", cycles)
         return per_lane
 
     def evaluate(

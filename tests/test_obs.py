@@ -1,0 +1,278 @@
+"""Tests for the ``repro.obs`` telemetry layer.
+
+Covers the metrics registry arithmetic, span nesting/monotonicity, the
+JSONL journal schema round-trip, the no-op-when-disabled guarantee, and
+the end-to-end ``repro-atpg profile`` acceptance path (nonzero hot-layer
+counters plus per-phase span durations in the metrics artifact).
+"""
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.cli import main
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.spans import SpanLog
+
+
+# -- metrics registry -------------------------------------------------------
+
+
+def test_counter_arithmetic():
+    registry = MetricsRegistry()
+    registry.incr("a.b")
+    registry.incr("a.b", 4)
+    assert registry.counter("a.b").value == 5
+    snapshot = registry.snapshot()
+    assert snapshot["counters"] == {"a.b": 5}
+
+
+def test_gauge_is_set_not_accumulated():
+    registry = MetricsRegistry()
+    registry.set_gauge("cov", 50.0)
+    registry.set_gauge("cov", 75.0)
+    assert registry.snapshot()["gauges"] == {"cov": 75.0}
+
+
+def test_histogram_summary():
+    registry = MetricsRegistry()
+    for value in (2.0, 4.0, 12.0):
+        registry.observe("len", value)
+    hist = registry.snapshot()["histograms"]["len"]
+    assert hist["count"] == 3
+    assert hist["total"] == 18.0
+    assert hist["mean"] == 6.0
+    assert hist["min"] == 2.0
+    assert hist["max"] == 12.0
+
+
+def test_kind_collision_raises():
+    registry = MetricsRegistry()
+    registry.incr("x")
+    with pytest.raises(ValueError):
+        registry.set_gauge("x", 1.0)
+
+
+def test_registry_reset_zeroes_everything():
+    registry = MetricsRegistry()
+    registry.incr("c", 3)
+    registry.set_gauge("g", 9.0)
+    registry.observe("h", 7.0)
+    registry.reset()
+    snapshot = registry.snapshot()
+    assert snapshot["counters"] == {"c": 0}
+    assert snapshot["gauges"] == {"g": 0.0}
+    assert snapshot["histograms"]["h"]["count"] == 0
+
+
+# -- spans ------------------------------------------------------------------
+
+
+def test_span_nesting_builds_paths():
+    log = SpanLog()
+    log.open("outer")
+    log.open("inner")
+    inner = log.close()
+    outer = log.close()
+    assert inner.path == "outer/inner"
+    assert inner.depth == 1
+    assert outer.path == "outer"
+    assert outer.depth == 0
+
+
+def test_span_timing_monotonic_and_nested():
+    log = SpanLog()
+    log.open("outer")
+    log.open("inner")
+    inner = log.close()
+    outer = log.close()
+    assert inner.duration >= 0.0
+    assert outer.duration >= inner.duration
+    assert outer.start <= inner.start
+    assert inner.end <= outer.end
+
+
+def test_span_name_rejects_separator():
+    log = SpanLog()
+    with pytest.raises(ValueError):
+        log.open("a/b")
+
+
+def test_close_without_open_raises():
+    with pytest.raises(RuntimeError):
+        SpanLog().close()
+
+
+def test_aggregate_orders_parents_before_children():
+    log = SpanLog()
+    log.open("root")
+    for _ in range(2):
+        log.open("child")
+        log.close()
+    log.close()
+    aggregated = log.aggregate()
+    assert list(aggregated) == ["root", "root/child"]
+    assert aggregated["root/child"]["count"] == 2
+
+
+# -- sessions / disabled hooks ----------------------------------------------
+
+
+def test_hooks_are_noops_when_disabled():
+    assert not obs.enabled()
+    assert obs.active() is None
+    # None of these may raise or create state anywhere.
+    obs.incr("never.recorded", 3)
+    obs.set_gauge("never.recorded.g", 1.0)
+    obs.observe("never.recorded.h", 1.0)
+    obs.event("never.recorded.e", detail=1)
+    obs.coverage("never.recorded.phase", 1, 2)
+    noop = obs.span("never")
+    with noop:
+        pass
+    assert noop.duration is None
+    # The shared no-op span is reused, not allocated per call.
+    assert obs.span("other") is noop
+
+
+def test_stopwatch_measures_even_when_disabled():
+    assert not obs.enabled()
+    with obs.stopwatch("timed.block") as watch:
+        pass
+    assert watch.duration is not None
+    assert watch.duration >= 0.0
+
+
+def test_session_collects_and_restores():
+    with obs.session() as telemetry:
+        assert obs.enabled()
+        assert obs.active() is telemetry
+        obs.incr("in.session", 2)
+        with obs.span("phase"):
+            obs.incr("in.session")
+    assert not obs.enabled()
+    assert telemetry.metrics.snapshot()["counters"] == {"in.session": 3}
+    assert "phase" in telemetry.spans.aggregate()
+    # After the session ends, hooks are inert again.
+    obs.incr("in.session", 100)
+    assert telemetry.metrics.snapshot()["counters"] == {"in.session": 3}
+
+
+def test_sessions_nest_and_restore_previous():
+    with obs.session() as outer:
+        obs.incr("which")
+        with obs.session() as inner:
+            obs.incr("which")
+            assert obs.active() is inner
+        assert obs.active() is outer
+        obs.incr("which")
+    assert outer.metrics.counter("which").value == 2
+    assert inner.metrics.counter("which").value == 1
+
+
+def test_timed_decorator_records_span():
+    @obs.timed("decorated")
+    def work():
+        return 42
+
+    with obs.session() as telemetry:
+        assert work() == 42
+    assert telemetry.spans.aggregate()["decorated"]["count"] == 1
+
+
+# -- journal -----------------------------------------------------------------
+
+
+def test_journal_roundtrip(tmp_path):
+    path = tmp_path / "run.jsonl"
+    with obs.session(trace=str(path)) as telemetry:
+        with obs.span("phase"):
+            obs.event("custom.kind", payload=7)
+        telemetry.snapshot_event()
+    events = obs.read_journal(path)
+    kinds = [e["type"] for e in events]
+    assert kinds[0] == "journal.open"
+    assert kinds[-1] == "journal.close"
+    assert "span.open" in kinds and "span.close" in kinds
+    assert "custom.kind" in kinds and "metrics.snapshot" in kinds
+    custom = next(e for e in events if e["type"] == "custom.kind")
+    assert custom["data"] == {"payload": 7}
+    close = next(e for e in events if e["type"] == "span.close")
+    assert close["data"]["path"] == "phase"
+    assert close["data"]["duration"] >= 0.0
+    # Every line is standalone JSON (streamable by line-oriented tools).
+    for line in path.read_text().splitlines():
+        json.loads(line)
+
+
+def test_read_journal_rejects_wrong_schema(tmp_path):
+    path = tmp_path / "bad.jsonl"
+    path.write_text('{"seq": 0, "t": 0.0, "type": "journal.open", '
+                    '"data": {"schema": "other/9"}}\n')
+    with pytest.raises(ValueError):
+        obs.read_journal(path)
+
+
+def test_read_journal_rejects_seq_gap(tmp_path):
+    path = tmp_path / "gap.jsonl"
+    path.write_text(
+        '{"seq": 0, "t": 0.0, "type": "journal.open", '
+        f'"data": {{"schema": "{obs.JOURNAL_SCHEMA}"}}}}\n'
+        '{"seq": 2, "t": 0.1, "type": "x", "data": {}}\n'
+    )
+    with pytest.raises(ValueError):
+        obs.read_journal(path)
+
+
+# -- artifact + CLI acceptance path ------------------------------------------
+
+
+def test_metrics_artifact_schema():
+    with obs.session() as telemetry:
+        obs.incr("a.count", 2)
+        with obs.span("root"):
+            pass
+    artifact = obs.metrics_artifact(telemetry, meta={"circuit": "s27"})
+    assert artifact["schema"] == obs.METRICS_SCHEMA
+    assert artifact["meta"]["circuit"] == "s27"
+    assert artifact["counters"]["a.count"] == 2
+    [root] = [s for s in artifact["spans"] if s["path"] == "root"]
+    assert root["count"] == 1 and root["total_seconds"] >= 0.0
+    json.dumps(artifact)  # plain data, serializable as-is
+
+
+def test_profile_s27_metrics_artifact(tmp_path, capsys):
+    """Acceptance: ``repro-atpg profile s27 --metrics-out`` produces the
+    nonzero hot-layer counters and per-phase span durations."""
+    out = tmp_path / "metrics.json"
+    trace = tmp_path / "trace.jsonl"
+    assert main(["profile", "s27", "--metrics-out", str(out),
+                 "--trace", str(trace)]) == 0
+    printed = capsys.readouterr().out
+    assert "per-phase time breakdown" in printed
+
+    artifact = json.loads(out.read_text())
+    assert artifact["schema"] == obs.METRICS_SCHEMA
+    counters = artifact["counters"]
+    assert counters["atpg.backtracks"] > 0
+    assert counters["faultsim.faults_dropped"] > 0
+    assert counters["compaction.omission.attempts"] > 0
+
+    paths = {s["path"]: s for s in artifact["spans"]}
+    for phase in ("pipeline.generation", "pipeline.generation/atpg",
+                  "pipeline.generation/restoration",
+                  "pipeline.generation/omission",
+                  "pipeline.translation"):
+        assert phase in paths
+        assert paths[phase]["total_seconds"] >= 0.0
+    # Children cannot out-total their parent.
+    children = sum(s["total_seconds"] for p, s in paths.items()
+                   if p.startswith("pipeline.generation/"))
+    assert children <= paths["pipeline.generation"]["total_seconds"] + 1e-6
+
+    events = obs.read_journal(trace)
+    assert events[0]["type"] == "journal.open"
+    assert any(e["type"] == "coverage" for e in events)
+    # Telemetry is torn down after the CLI returns.
+    assert not obs.enabled()
