@@ -14,8 +14,8 @@ from repro import obs
 from repro.atpg import Podem, comb_view
 from repro.circuit import insert_scan, random_circuit, s27
 from repro.faults import collapse_faults
-from repro.sim import LogicSimulator, PackedFaultSimulator
-from repro.sim.fault_sim import FaultSimResult
+from repro.sim import LogicSimulator, PackedFaultSimulator, SimSession
+from repro.sim.fault_sim import FaultSimResult, iter_fault_positions
 from tests.util import random_vectors
 
 SCALES = {
@@ -82,6 +82,30 @@ def bench_fault_collapsing(benchmark):
     assert result
 
 
+def bench_session_incremental(benchmark):
+    """Checkpointed session vs cycle-0 restarts on a compaction-shaped
+    workload: one full detection-times pass, then a backward sweep of
+    single-vector-omission trials (the access pattern of
+    ``omission_compact``)."""
+    circuit, faults = _build("s298-class")
+    vectors = random_vectors(circuit, 48, seed=2)
+    trials = [vectors[:i] + vectors[i + 1:] for i in range(47, 31, -1)]
+
+    def workload(incremental):
+        session = SimSession(circuit, faults, incremental=incremental)
+        session.detection_times(vectors)
+        for trial in trials:
+            session.detected_mask(trial)
+        return session.cycles_simulated
+
+    incremental_cycles = workload(True)
+    restart_cycles = workload(False)
+    assert incremental_cycles < restart_cycles
+    benchmark.extra_info["incremental_cycles"] = incremental_cycles
+    benchmark.extra_info["restart_cycles"] = restart_cycles
+    benchmark(lambda: workload(True))
+
+
 def bench_telemetry_off_overhead(benchmark):
     """Guard the zero-cost-by-default promise of ``repro.obs``.
 
@@ -100,15 +124,15 @@ def bench_telemetry_off_overhead(benchmark):
         # PackedFaultSimulator.run() with the obs hooks stripped.
         sim.reset()
         result = FaultSimResult(faults=list(sim.faults))
+        faults = sim.faults
+        detection_time = result.detection_time
         remaining = sim.fault_mask
         for t, vector in enumerate(vectors):
             newly = sim.step(vector) & remaining
             if newly:
                 remaining &= ~newly
-                for position, fault in enumerate(sim.faults):
-                    bit = 1 << (position + 1)
-                    if newly & bit:
-                        result.detection_time[fault] = t
+                for position in iter_fault_positions(newly):
+                    detection_time[faults[position]] = t
             result.num_vectors = t + 1
         return result
 

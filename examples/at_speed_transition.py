@@ -19,19 +19,17 @@ and verifies coverage by independent re-simulation.
 """
 
 from repro import (
+    CompactionOracle,
+    PackedTransitionSimulator,
     ScanAwareATPG,
     SeqATPGConfig,
     collapse_faults,
+    enumerate_transition_faults,
     insert_scan,
-    s27,
-)
-from repro.compaction import (
-    CompactionOracle,
     omission_compact,
     restoration_compact,
+    s27,
 )
-from repro.faults import enumerate_transition_faults
-from repro.sim import PackedTransitionSimulator
 
 
 def main() -> None:

@@ -10,7 +10,7 @@ script parses the netlist from an inline ``.bench`` string, so the same
 recipe applies to any file on disk via ``repro.load_bench``.
 """
 
-from repro import generation_flow, parse_bench, translation_flow
+from repro import FlowConfig, generation_flow, parse_bench, translation_flow
 
 JOHNSON = """
 # 4-bit Johnson counter with synchronous reset, enable and parity output.
@@ -59,7 +59,8 @@ def main() -> None:
     circuit = parse_bench(JOHNSON, name="johnson4")
     print(f"parsed: {circuit}")
 
-    flow = generation_flow(circuit, seed=7)
+    config = FlowConfig(seed=7)
+    flow = generation_flow(circuit, config)
     print(f"\nfault universe (scan version): {flow.num_faults} collapsed")
     print(f"coverage: {flow.fault_coverage:.2f}% "
           f"(testable: {flow.testable_coverage:.2f}%, "
@@ -73,7 +74,7 @@ def main() -> None:
     print(f"\nscan runs: {runs} (chain length {n_sv})")
     print(f"limited scan operations: {sum(1 for r in runs if r < n_sv)}")
 
-    baseline = translation_flow(circuit, seed=7)
+    baseline = translation_flow(circuit, config)
     print(f"\nconventional baseline: {baseline.baseline.test_set.summary()}")
     print(f"translating + compacting the baseline itself (Section 3): "
           f"{baseline.baseline_cycles} -> {baseline.omitted_stats().total} cycles")

@@ -31,8 +31,8 @@ from repro import (
     insert_scan,
     s27,
 )
+from repro import PackedFaultSimulator
 from repro.circuit.gates import X
-from repro.sim import PackedFaultSimulator
 
 
 def simulation_engine(circuit, faults):

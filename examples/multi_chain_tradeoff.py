@@ -20,9 +20,10 @@ from repro import (
     insert_scan,
     random_circuit,
 )
-from repro.atpg import Podem, comb_view
-from repro.compaction import (
+from repro import (
     CompactionOracle,
+    Podem,
+    comb_view,
     omission_compact,
     restoration_compact,
 )

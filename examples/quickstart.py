@@ -14,6 +14,7 @@ Steps
 """
 
 from repro import (
+    FlowConfig,
     collapse_faults,
     generation_flow,
     insert_scan,
@@ -35,7 +36,11 @@ def main() -> None:
     print(f"collapsed stuck-at faults (incl. scan muxes): {len(faults)}\n")
 
     # --- Section 2 generation + Section 4 compaction -----------------------
-    flow = generation_flow(circuit, seed=1)
+    # One FlowConfig drives the whole flow; both compaction stages share
+    # an incremental fault-sim session that resumes trial simulations
+    # from packed-state checkpoints instead of cycle 0.
+    config = FlowConfig(seed=1)
+    flow = generation_flow(circuit, config)
     print(f"fault coverage: {flow.fault_coverage:.2f}% "
           f"({flow.detected_total}/{flow.num_faults}); "
           f"funct (via scan knowledge): {flow.funct_count}")
@@ -53,7 +58,7 @@ def main() -> None:
     print(final.to_table())
 
     # --- the conventional baseline -----------------------------------------
-    baseline = translation_flow(circuit, seed=1)
+    baseline = translation_flow(circuit, config)
     cycles = baseline.baseline_cycles
     print(f"\nconventional complete-scan application: {cycles} cycles")
     print(f"this sequence:                          {len(final)} cycles "

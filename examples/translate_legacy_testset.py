@@ -25,7 +25,7 @@ from repro import (
     s27,
     translate_test_set,
 )
-from repro.compaction import (
+from repro import (
     CompactionOracle,
     omission_compact,
     restoration_compact,

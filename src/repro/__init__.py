@@ -9,12 +9,17 @@ yields very short test application times.
 
 Quick start::
 
-    from repro import s27, generation_flow
+    from repro import FlowConfig, s27, generation_flow
 
-    flow = generation_flow(s27(), seed=1)
+    flow = generation_flow(s27(), FlowConfig(seed=1))
     print(flow.omitted.sequence.to_table())
     print(flow.omitted_stats())          # cycles (total/scan)
     print(f"coverage {flow.fault_coverage:.2f}%")
+
+:class:`FlowConfig` is the single configuration object for both flows
+(seed, scan chains, Section 2 knowledge toggles, compaction switches and
+the incremental fault-simulation tuning); the historical per-flow
+keyword arguments still work but emit :class:`DeprecationWarning`.
 
 Layering (see DESIGN.md):
 
@@ -62,6 +67,7 @@ from .sim import (
     PackedFaultSimulator,
     PackedPatternSimulator,
     PackedTransitionSimulator,
+    SimSession,
 )
 from .atpg import (
     CombScanATPG,
@@ -76,17 +82,22 @@ from .atpg import (
     unroll,
 )
 from .core import (
+    FlowConfig,
+    GenerationFlowResult,
     ScanATPGResult,
     ScanAwareATPG,
     ScanTest,
     ScanTestSet,
     TestSequence,
+    TranslationFlowResult,
     generation_flow,
     translate_test_set,
     translation_flow,
 )
 from .compaction import (
     CompactionOracle,
+    OmissionResult,
+    RestorationResult,
     omission_compact,
     overlapped_restoration_compact,
     restoration_compact,
@@ -107,16 +118,17 @@ __all__ = [
     "Fault", "enumerate_faults", "collapse_faults",
     # sim
     "LogicSimulator", "PackedFaultSimulator", "FaultSimResult",
-    "PackedPatternSimulator", "PackedTransitionSimulator",
+    "PackedPatternSimulator", "PackedTransitionSimulator", "SimSession",
     # atpg
     "Podem", "PodemResult", "comb_view", "SequentialATPG", "SeqATPGConfig",
     "CombScanATPG", "SecondApproachATPG", "SecondApproachConfig",
     # core
-    "TestSequence", "ScanTest", "ScanTestSet", "ScanAwareATPG",
+    "FlowConfig", "TestSequence", "ScanTest", "ScanTestSet", "ScanAwareATPG",
     "ScanATPGResult", "translate_test_set", "generation_flow",
-    "translation_flow",
+    "GenerationFlowResult", "translation_flow", "TranslationFlowResult",
     # compaction
-    "CompactionOracle", "restoration_compact", "omission_compact",
+    "CompactionOracle", "restoration_compact", "RestorationResult",
+    "omission_compact", "OmissionResult",
     "reverse_order_compact", "overlapped_restoration_compact",
     "subsequence_removal_compact",
     # extensions

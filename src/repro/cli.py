@@ -15,6 +15,10 @@ Subcommands::
 ``<circuit>`` is a suite name (``s27``, ``s298``, ``b01``, ...) or a path
 to a ``.bench`` / structural-``.v`` file of a sequential circuit.
 
+The flow-running subcommands (``generate``, ``translate``, ``profile``,
+``export``) also accept ``--checkpoint-interval K``, which tunes the
+incremental fault-simulation session (see :class:`repro.FlowConfig`).
+
 Every subcommand also accepts the telemetry flags ``--trace FILE``
 (stream a JSONL run journal, see :mod:`repro.obs.journal`) and
 ``--metrics-out FILE`` (write the metrics/spans JSON artifact after the
@@ -32,9 +36,18 @@ from typing import Optional
 from . import obs
 from .circuit.bench import load_bench
 from .circuit.netlist import Circuit
-from .core.pipeline import generation_flow, translation_flow
+from .core import FlowConfig, generation_flow, translation_flow
 from .experiments import suite as suite_mod
 from .experiments import table5, table6, table7
+
+
+def _flow_config(args: argparse.Namespace, **overrides) -> FlowConfig:
+    """Build the FlowConfig shared by the flow-running subcommands."""
+    return FlowConfig(
+        seed=args.seed,
+        checkpoint_interval=args.checkpoint_interval,
+        **overrides,
+    )
 
 
 def _resolve_circuit(name: str) -> Circuit:
@@ -50,7 +63,7 @@ def _resolve_circuit(name: str) -> Circuit:
 
 def _cmd_generate(args: argparse.Namespace) -> int:
     circuit = _resolve_circuit(args.circuit)
-    flow = generation_flow(circuit, seed=args.seed, compact=not args.no_compact)
+    flow = generation_flow(circuit, _flow_config(args, compact=not args.no_compact))
     print(f"circuit {circuit.name}: {circuit.num_inputs} PI, "
           f"{circuit.num_state_vars} FF -> C_scan with {flow.num_faults} "
           f"collapsed faults")
@@ -71,7 +84,7 @@ def _cmd_generate(args: argparse.Namespace) -> int:
 
 def _cmd_translate(args: argparse.Namespace) -> int:
     circuit = _resolve_circuit(args.circuit)
-    flow = translation_flow(circuit, seed=args.seed)
+    flow = translation_flow(circuit, _flow_config(args))
     print(f"circuit {circuit.name}: baseline {flow.baseline.test_set.summary()}")
     print(f"translated sequence: {flow.translated_stats()}")
     print(f"after restoration [23]: {flow.restored_stats()}")
@@ -87,9 +100,9 @@ def _cmd_translate(args: argparse.Namespace) -> int:
 def _cmd_profile(args: argparse.Namespace) -> int:
     circuit = _resolve_circuit(args.circuit)
     telemetry = obs.active()
-    generation_flow(circuit, seed=args.seed)
+    generation_flow(circuit, _flow_config(args))
     if not args.skip_translation:
-        translation_flow(circuit, seed=args.seed)
+        translation_flow(circuit, _flow_config(args))
     print(obs.render_profile(
         telemetry, title=f"{circuit.name}: per-phase time breakdown"))
     return 0
@@ -129,7 +142,7 @@ def _cmd_export(args: argparse.Namespace) -> int:
     from .testseq import write_stil, write_vcd
 
     circuit = _resolve_circuit(args.circuit)
-    flow = generation_flow(circuit, seed=args.seed)
+    flow = generation_flow(circuit, _flow_config(args))
     sequence = flow.omitted.sequence if flow.omitted else flow.raw
     scan_circuit = flow.scan_circuit.circuit
     out = Path(args.output)
@@ -176,28 +189,32 @@ def build_parser() -> argparse.ArgumentParser:
     telemetry_group.add_argument(
         "--metrics-out", metavar="FILE", default=None,
         help="write the metrics/spans JSON artifact to FILE on exit")
+    flowopts = argparse.ArgumentParser(add_help=False)
+    flow_group = flowopts.add_argument_group("flow")
+    flow_group.add_argument("--seed", type=int, default=0)
+    flow_group.add_argument(
+        "--checkpoint-interval", type=int, default=4, metavar="K",
+        help="cycles between packed-state checkpoints in the "
+             "incremental fault-sim session (default 4)")
     sub = parser.add_subparsers(dest="command", required=True)
 
-    gen = sub.add_parser("generate", parents=[telemetry],
+    gen = sub.add_parser("generate", parents=[telemetry, flowopts],
                          help="Section 2 generation + Section 4 "
                               "compaction on one circuit")
     gen.add_argument("circuit")
-    gen.add_argument("--seed", type=int, default=0)
     gen.add_argument("--no-compact", action="store_true")
     gen.add_argument("--show-sequence", action="store_true")
     gen.set_defaults(func=_cmd_generate)
 
-    trans = sub.add_parser("translate", parents=[telemetry],
+    trans = sub.add_parser("translate", parents=[telemetry, flowopts],
                            help="Section 3 translation flow on one circuit")
     trans.add_argument("circuit")
-    trans.add_argument("--seed", type=int, default=0)
     trans.set_defaults(func=_cmd_translate)
 
-    prof = sub.add_parser("profile", parents=[telemetry],
+    prof = sub.add_parser("profile", parents=[telemetry, flowopts],
                           help="run both flows with telemetry on and "
                                "print the per-phase breakdown")
     prof.add_argument("circuit")
-    prof.add_argument("--seed", type=int, default=0)
     prof.add_argument("--skip-translation", action="store_true",
                       help="profile the generation flow only")
     prof.set_defaults(func=_cmd_profile)
@@ -223,12 +240,11 @@ def build_parser() -> argparse.ArgumentParser:
     ana.add_argument("--hardest", type=int, default=10)
     ana.set_defaults(func=_cmd_analyze)
 
-    exp = sub.add_parser("export", parents=[telemetry],
+    exp = sub.add_parser("export", parents=[telemetry, flowopts],
                          help="generate, compact and export a "
                               "test sequence (.vcd / .stil)")
     exp.add_argument("circuit")
     exp.add_argument("output")
-    exp.add_argument("--seed", type=int, default=0)
     exp.set_defaults(func=_cmd_export)
 
     info = sub.add_parser("info", parents=[telemetry],

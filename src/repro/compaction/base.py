@@ -4,10 +4,18 @@ The compaction procedures of Section 4 were "developed for non-scan
 synchronous sequential circuits, which accept a single test sequence" —
 they know nothing about scan.  Their only interface to the circuit is a
 *detection oracle*: given a sequence, which target faults does it detect,
-and when?  :class:`CompactionOracle` packages the packed fault simulator
-behind that interface, adding the prefix-checkpoint machinery that makes
-vector omission affordable (re-simulating only the suffix after each
-tentative omission).
+and when?  :class:`CompactionOracle` packages that interface over an
+incremental :class:`~repro.sim.session.SimSession`, so near-identical
+queries (omission trials, restoration spans, tail trims) resume from
+packed-state checkpoints instead of cycle 0, and faults a procedure has
+secured can be :meth:`dropped <drop>` from the packed planes until the
+procedure's final accounting.
+
+Procedures may share one oracle (the pipelines and ablations do).  The
+contract that makes that safe: every procedure calls
+:meth:`restore_dropped` before its first query *and* before its final
+full-universe accounting, so drops never leak across procedure
+boundaries.
 """
 
 from __future__ import annotations
@@ -17,17 +25,33 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 from ..circuit.netlist import Circuit
 from ..faults.model import Fault
 from ..sim.fault_sim import PackedFaultSimulator
+from ..sim.session import SimSession
 
 
 class CompactionOracle:
-    """Detection oracle over a fixed circuit and target fault list."""
+    """Detection oracle over a fixed circuit and target fault list.
+
+    ``checkpoint_interval`` and ``incremental`` tune the underlying
+    :class:`SimSession`; ``incremental=False`` restarts every query from
+    cycle 0 (the baseline the perf guards measure against).
+    """
 
     def __init__(self, circuit: Circuit, faults: Sequence[Fault],
-                 simulator_factory=PackedFaultSimulator):
+                 simulator_factory=PackedFaultSimulator,
+                 checkpoint_interval: int = 4,
+                 incremental: bool = True):
         self.circuit = circuit
         self.faults = list(faults)
-        self.sim = simulator_factory(circuit, self.faults)
+        self._factory = simulator_factory
+        self.session = SimSession(
+            circuit,
+            self.faults,
+            checkpoint_interval=checkpoint_interval,
+            simulator_factory=simulator_factory,
+            incremental=incremental,
+        )
         self._position = {f: i + 1 for i, f in enumerate(self.faults)}
+        self._raw_sim = None
 
     # -- mask helpers -----------------------------------------------------
 
@@ -40,18 +64,17 @@ class CompactionOracle:
 
     def faults_of(self, mask: int) -> List[Fault]:
         """Decode a detection mask back into fault objects."""
-        return self.sim.faults_from_mask(mask)
+        return self.session.faults_of(mask)
 
     @property
     def all_mask(self) -> int:
-        return self.sim.fault_mask
+        return self.session.fault_mask
 
     # -- whole-sequence queries ---------------------------------------------
 
     def detection_times(self, vectors: Sequence[Sequence[int]]) -> Dict[Fault, int]:
         """First-detection time of every target fault under ``vectors``."""
-        result = self.sim.run(vectors)
-        return dict(result.detection_time)
+        return self.session.detection_times(vectors)
 
     def detected_mask(
         self,
@@ -62,21 +85,22 @@ class CompactionOracle:
         """Mask of targets detected by ``vectors``.
 
         ``target_mask`` limits interest (enables early exit once all of
-        them fall); ``initial_state`` is a simulator snapshot to start
-        from instead of the all-X reset state.
+        them fall).  ``initial_state`` is a raw simulator snapshot (from
+        :meth:`reset_checkpoint`/:meth:`advance`) to start from instead
+        of the all-X reset state — a legacy path that bypasses the
+        incremental session.
         """
-        sim = self.sim
-        if initial_state is None:
-            sim.reset()
-        else:
+        if initial_state is not None:
+            sim = self.sim
             sim.restore_state(initial_state)
-        wanted = sim.fault_mask if target_mask is None else target_mask
-        seen = 0
-        for vector in vectors:
-            seen |= sim.step(vector)
-            if wanted & ~seen == 0:
-                break
-        return seen & wanted
+            wanted = sim.fault_mask if target_mask is None else target_mask
+            seen = 0
+            for vector in vectors:
+                seen |= sim.step(vector)
+                if wanted & ~seen == 0:
+                    break
+            return seen & wanted
+        return self.session.detected_mask(vectors, target_mask)
 
     def detects_all(
         self,
@@ -87,7 +111,28 @@ class CompactionOracle:
         """Does the sequence detect every fault in ``target_mask``?"""
         return self.detected_mask(vectors, target_mask, initial_state) == target_mask
 
-    # -- checkpoints ------------------------------------------------------------
+    # -- fault dropping ------------------------------------------------------
+
+    def drop(self, mask: int) -> int:
+        """Drop secured faults from the packed simulation (see
+        :meth:`SimSession.drop`); they must not be queried again until
+        :meth:`restore_dropped`."""
+        return self.session.drop(mask)
+
+    def restore_dropped(self) -> None:
+        """Undo every :meth:`drop` — call before a procedure's first
+        query and before its final full-universe accounting."""
+        self.session.restore_dropped()
+
+    # -- legacy checkpoints --------------------------------------------------
+
+    @property
+    def sim(self):
+        """A raw (non-incremental) simulator for the legacy token-based
+        checkpoint API; built on first use."""
+        if self._raw_sim is None:
+            self._raw_sim = self._factory(self.circuit, self.faults)
+        return self._raw_sim
 
     def reset_checkpoint(self) -> Tuple:
         """A snapshot of the power-up (all-X) state."""
@@ -97,6 +142,7 @@ class CompactionOracle:
     def advance(self, checkpoint, vector) -> Tuple[Tuple, int]:
         """Extend a checkpoint by one vector; returns the new checkpoint
         and the mask detected during that cycle."""
-        self.sim.restore_state(checkpoint)
-        detected = self.sim.step(vector)
-        return self.sim.save_state(), detected
+        sim = self.sim
+        sim.restore_state(checkpoint)
+        detected = sim.step(vector)
+        return sim.save_state(), detected

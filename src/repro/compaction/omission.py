@@ -9,12 +9,20 @@ sequence sometimes detects faults the original missed (state trajectories
 change once a vector disappears), so coverage can go *up* during
 compaction.
 
-Cost control: vectors are processed first-to-last while maintaining a
-simulator checkpoint of the (already final) prefix, so each trial
-simulates only the suffix — and stops early once all required faults
-fall.  Applied to a ``C_scan`` sequence this procedure shortens scan
-operations one cycle at a time, converting complete scans into limited
-scans or removing them outright.
+Cost control: the sweep runs **last vector first**.  Omitting vector
+``t`` leaves ``[0, t)`` untouched, so a backward sweep keeps every
+already-processed decision *behind* the edit point: each trial shares
+its whole prefix with the previous query, and the oracle's incremental
+session resumes from a packed-state checkpoint at the edit point instead
+of cycle 0 — a trial near the end of the sequence costs almost no
+simulated cycles.  The fault set a trial must preserve falls out of the
+pass-start detection times with no extra simulation: the prefix ``[0,
+t)`` is immutable during the sweep, so it detects exactly the required
+faults whose first detection time is ``< t``, and the trial only needs
+the rest.  Faults the input sequence never detects are *dropped* from
+the packed planes for the whole sweep (they are never required),
+shrinking every big-int operation; the final full-universe accounting
+restores them, which is how ``ext det`` faults surface.
 """
 
 from __future__ import annotations
@@ -54,38 +62,57 @@ def omission_compact(
     ``faults`` is the full accounting universe: the required set is the
     subset the input sequence detects; anything else that becomes
     detected counts as ``extra_detected``.  ``max_passes`` > 1 repeats
-    the sweep until a fixpoint or the pass budget runs out (later
-    omissions can enable earlier ones).
+    the sweep until a fixpoint or the pass budget runs out (one pass's
+    omissions can enable another's).
     """
     oracle = oracle or CompactionOracle(circuit, faults)
+    oracle.restore_dropped()  # a shared oracle may carry drops
     vectors = list(sequence.vectors)
-    required_mask = oracle.detected_mask(vectors)
+    required_mask = 0
 
     omitted_total = 0
     for _pass in range(max_passes):
         obs.incr("compaction.omission.passes")
         omitted_this_pass = 0
-        checkpoint = oracle.reset_checkpoint()
-        prefix_detected = 0
-        index = 0
-        while index < len(vectors):
-            need_after = required_mask & ~prefix_detected
-            if need_after == 0:
-                # Prefix already detects everything: drop the entire tail.
-                omitted_this_pass += len(vectors) - index
-                del vectors[index:]
-                break
+
+        # Pass-start detection times define the required set and, for
+        # every position t, the faults the immutable prefix [0, t)
+        # already detects (exactly those with first detection < t).
+        times = oracle.detection_times(vectors)
+        required_mask = oracle.mask_of(times)
+        # Everything else in the universe is never required: drop it
+        # from the packed planes for the whole sweep.
+        oracle.drop(oracle.all_mask & ~required_mask)
+
+        # The vectors beyond the last required detection contribute
+        # nothing that must be preserved: drop the tail outright.
+        last = max(times.values()) if times else -1
+        if last + 1 < len(vectors):
+            omitted_this_pass += len(vectors) - (last + 1)
+            del vectors[last + 1:]
+
+        # Faults ordered by detection time, as (time, mask) pairs; a
+        # pointer sweeps them into the needed set as the index falls.
+        by_time = sorted(
+            (t, oracle.mask_of([f])) for f, t in times.items()
+        )
+        need_after = 0
+        cursor = len(by_time)
+        for index in range(len(vectors) - 1, -1, -1):
+            while cursor and by_time[cursor - 1][0] >= index:
+                cursor -= 1
+                need_after |= by_time[cursor][1]
             obs.incr("compaction.omission.attempts")
-            trial = vectors[index + 1:]
-            if oracle.detects_all(trial, need_after, initial_state=checkpoint):
+            trial = vectors[:index] + vectors[index + 1:]
+            if oracle.detects_all(trial, need_after):
                 obs.incr("compaction.omission.successes")
                 del vectors[index]
                 omitted_this_pass += 1
-                continue  # same index now holds the next vector
-            checkpoint, newly = oracle.advance(checkpoint, vectors[index])
-            prefix_detected |= newly & required_mask
-            index += 1
+
         omitted_total += omitted_this_pass
+        # The next pass re-derives detection times over the shortened
+        # sequence; bring the dropped faults back first.
+        oracle.restore_dropped()
         if omitted_this_pass == 0:
             break
     obs.incr("compaction.omission.omitted_vectors", omitted_total)

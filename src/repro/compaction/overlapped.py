@@ -45,6 +45,7 @@ def overlapped_restoration_compact(
     the amount of restored material differs.
     """
     oracle = oracle or CompactionOracle(circuit, faults)
+    oracle.restore_dropped()  # a shared oracle may carry drops
     vectors = list(sequence.vectors)
     detection = oracle.detection_times(vectors)
     never = [f for f in faults if f not in detection]

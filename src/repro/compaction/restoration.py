@@ -52,6 +52,7 @@ def restoration_compact(
     """Compact ``sequence`` by vector restoration, preserving detection of
     every fault in ``faults`` that the sequence detects."""
     oracle = oracle or CompactionOracle(circuit, faults)
+    oracle.restore_dropped()  # a shared oracle may carry drops
     vectors = list(sequence.vectors)
     detection = oracle.detection_times(vectors)
     never = [f for f in faults if f not in detection]
@@ -89,10 +90,14 @@ def restoration_compact(
                 break
             span *= 2
 
-        # Drop every pending fault the restored subsequence now detects.
+        # Every pending fault the restored subsequence now detects is
+        # secured: remove it from the work list *and* from the packed
+        # planes (the restored set only grows, and the final accounting
+        # below restores the full universe anyway).
         subsequence = [vectors[i] for i in restored]
         pending_mask = oracle.mask_of(pending)
         detected_mask = oracle.detected_mask(subsequence, pending_mask)
+        oracle.drop(detected_mask)
         pending = [
             f for f in pending
             if not detected_mask & oracle.mask_of([f])
@@ -102,6 +107,7 @@ def restoration_compact(
     obs.incr("compaction.restoration.dropped_vectors",
              len(vectors) - len(restored))
     compacted = sequence.subsequence(restored)
+    oracle.restore_dropped()
     final_mask = oracle.detected_mask(list(compacted.vectors))
     return RestorationResult(
         sequence=compacted,

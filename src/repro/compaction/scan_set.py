@@ -25,6 +25,7 @@ from ..circuit.netlist import Circuit
 from ..testseq.scan_tests import ScanTestSet
 from ..faults.model import Fault
 from ..sim.fault_sim import PackedFaultSimulator
+from ..sim.session import SimSession
 
 
 def reverse_order_compact(
@@ -73,10 +74,16 @@ def trim_test_tails(
     detection never shrinks while cycle counts only go down.
 
     Returns the trimmed set and the fault -> first-detecting-test map.
+
+    Trial candidates for one test are successive *prefixes* of its
+    vector list from the same scan-in state — exactly the shape the
+    incremental session's checkpoints resume across, so each trial
+    re-simulates at most one checkpoint interval instead of the whole
+    test.
     """
-    sim = PackedFaultSimulator(circuit, faults)
+    session = SimSession(circuit, faults)
     tests = list(test_set)
-    masks = [scan_test_detections(sim, t) for t in tests]
+    masks = [session.scan_test_mask(t.scan_in, t.vectors) for t in tests]
 
     cover_count: Dict[int, int] = {}  # bit position -> tests detecting it
     for mask in masks:
@@ -102,7 +109,9 @@ def trim_test_tails(
             candidate = tests[index].__class__(
                 tests[index].scan_in, tests[index].vectors[:-1]
             )
-            new_mask = scan_test_detections(sim, candidate)
+            new_mask = session.scan_test_mask(
+                candidate.scan_in, candidate.vectors
+            )
             lost = masks[index] & ~new_mask
             if any(cover_count.get(b, 0) < 2 for b in bits(lost)):
                 break
@@ -115,6 +124,6 @@ def trim_test_tails(
 
     detected_by: Dict[Fault, int] = {}
     for index, mask in enumerate(masks):
-        for fault in sim.faults_from_mask(mask):
+        for fault in session.faults_of(mask):
             detected_by.setdefault(fault, index)
     return ScanTestSet(circuit, tests), detected_by

@@ -67,6 +67,7 @@ def subsequence_removal_compact(
     (each round re-derives the state map of the shortened sequence).
     """
     oracle = oracle or CompactionOracle(circuit, faults)
+    oracle.restore_dropped()  # a shared oracle may carry drops
     vectors = list(sequence.vectors)
     required_mask = oracle.detected_mask(vectors)
     removed: List[Tuple[int, int]] = []

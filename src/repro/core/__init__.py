@@ -8,6 +8,7 @@ public API.
 """
 
 from ..testseq import ScanTest, ScanTestSet, SequenceStats, TestSequence
+from .config import FlowConfig
 from .scan_aware import ScanATPGResult, ScanAwareATPG
 from .translate import translate_test_set
 from .pipeline import (
@@ -18,6 +19,7 @@ from .pipeline import (
 )
 
 __all__ = [
+    "FlowConfig",
     "TestSequence",
     "SequenceStats",
     "ScanTest",

@@ -1,0 +1,181 @@
+"""Unified flow configuration.
+
+:class:`FlowConfig` is the single knob object for the end-to-end flows
+(:func:`~repro.core.pipeline.generation_flow` and
+:func:`~repro.core.pipeline.translation_flow`).  It replaces the
+spread-out keyword signatures those functions grew: one frozen dataclass
+carries the seed, scan-chain count, the Section 2 knowledge toggles, the
+Section 4 compaction switches and the incremental fault-simulation
+tuning, so a whole experiment is reproducible from one value.
+
+The flows still accept the historical keyword arguments (``seed=``,
+``compact=``, ...) through a shim that maps them onto a ``FlowConfig``
+and emits :class:`DeprecationWarning`; new code should build the config
+explicitly::
+
+    from repro import FlowConfig, generation_flow
+
+    cfg = FlowConfig(seed=1, num_chains=2, max_omission_passes=2)
+    flow = generation_flow(circuit, cfg)
+
+``FlowConfig`` is frozen; derive variants with :meth:`FlowConfig.replace`
+(a thin wrapper over :func:`dataclasses.replace`).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import warnings
+from dataclasses import dataclass
+from typing import Any, Dict, Mapping, Optional
+
+from ..atpg.seq_atpg import SeqATPGConfig
+
+
+@dataclass(frozen=True)
+class FlowConfig:
+    """Immutable configuration for the end-to-end flows."""
+
+    #: Master seed; also seeds the ATPG/baseline configs unless they are
+    #: given explicitly.
+    seed: int = 0
+    #: Scan chains inserted into the circuit under test.
+    num_chains: int = 1
+    #: Run Section 4 compaction (restoration then omission).
+    compact: bool = True
+    #: Prove aborted faults redundant with exhaustive PODEM on the
+    #: combinational view (generation flow only).
+    classify_redundant: bool = True
+    #: Enable the Section 2 scan-out completion.
+    use_scan_knowledge: bool = True
+    #: Enable the PODEM + scan-in justification completion.
+    use_justification: bool = True
+    #: PODEM backtrack budget for the redundancy proofs.
+    redundancy_backtrack_limit: int = 20000
+    #: Omission sweeps over the sequence (1 = single backward pass).
+    max_omission_passes: int = 1
+    #: Cycles between packed-state checkpoints in the fault-sim session.
+    checkpoint_interval: int = 4
+    #: Resume compaction queries from checkpoints; ``False`` forces the
+    #: cycle-0-restart baseline (for perf comparisons).
+    incremental: bool = True
+    #: Sequential ATPG engine configuration; ``None`` derives one from
+    #: ``seed`` (generation flow only).
+    atpg: Optional[SeqATPGConfig] = None
+    #: Conventional second-approach ATPG configuration; ``None`` derives
+    #: one from ``seed`` (translation flow only).
+    baseline: Optional[Any] = None
+
+    def __post_init__(self) -> None:
+        if self.checkpoint_interval < 1:
+            raise ValueError("checkpoint_interval must be >= 1")
+        if self.max_omission_passes < 1:
+            raise ValueError("max_omission_passes must be >= 1")
+        if self.num_chains < 1:
+            raise ValueError("num_chains must be >= 1")
+
+    def replace(self, **changes: Any) -> "FlowConfig":
+        """A copy with ``changes`` applied (the config is frozen)."""
+        return dataclasses.replace(self, **changes)
+
+    def atpg_config(self) -> SeqATPGConfig:
+        """The effective sequential-ATPG configuration."""
+        return self.atpg or SeqATPGConfig(seed=self.seed)
+
+
+#: legacy keyword -> FlowConfig field
+_LEGACY_FIELDS = {
+    "seed": "seed",
+    "num_chains": "num_chains",
+    "compact": "compact",
+    "classify_redundant": "classify_redundant",
+    "use_scan_knowledge": "use_scan_knowledge",
+    "use_justification": "use_justification",
+    "redundancy_backtrack_limit": "redundancy_backtrack_limit",
+    "config": "atpg",
+    "baseline_config": "baseline",
+}
+
+
+def coerce_flow_config(
+    name: str,
+    config: Any,
+    legacy: Mapping[str, Any],
+    allowed: frozenset,
+) -> FlowConfig:
+    """Resolve a flow's ``(config, **legacy)`` arguments to a FlowConfig.
+
+    Accepts, in order of preference:
+
+    * a :class:`FlowConfig` (the new API; no other keywords allowed),
+    * nothing — defaults,
+    * the historical keyword arguments (``seed=``, ``compact=``, ...),
+      possibly with a legacy engine config passed as ``config=`` or an
+      ``int`` seed passed positionally — these emit
+      :class:`DeprecationWarning` and map onto a FlowConfig.
+
+    ``allowed`` is the set of legacy keyword names the calling flow
+    historically accepted; anything else raises :class:`TypeError`.
+    """
+    if isinstance(config, FlowConfig):
+        if legacy:
+            raise TypeError(
+                f"{name}() got both a FlowConfig and legacy keyword "
+                f"arguments {sorted(legacy)}; fold them into the config "
+                f"(FlowConfig.replace(...))"
+            )
+        return config
+
+    fields: Dict[str, Any] = {}
+    if isinstance(config, int):
+        # Historical positional seed: generation_flow(circuit, 3).
+        fields["seed"] = config
+    elif isinstance(config, SeqATPGConfig):
+        # Historical generation_flow(circuit, config=SeqATPGConfig(...)).
+        fields["atpg"] = config
+    elif config is not None:
+        raise TypeError(
+            f"{name}() config must be a FlowConfig (or a legacy "
+            f"SeqATPGConfig/int seed), got {type(config).__name__}"
+        )
+
+    unknown = set(legacy) - allowed
+    if unknown:
+        raise TypeError(
+            f"{name}() got unexpected keyword arguments {sorted(unknown)}"
+        )
+    for key, value in legacy.items():
+        field = _LEGACY_FIELDS[key]
+        if field in fields:
+            raise TypeError(f"{name}() got duplicate values for '{field}'")
+        fields[field] = value
+
+    if fields:
+        warnings.warn(
+            f"passing individual keyword arguments to {name}() is "
+            f"deprecated; pass a FlowConfig instead "
+            f"(e.g. {name}(circuit, FlowConfig(seed=...)))",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+    return FlowConfig(**fields)
+
+
+#: Legacy keywords generation_flow historically accepted.
+GENERATION_LEGACY = frozenset(
+    {
+        "seed",
+        "config",
+        "compact",
+        "classify_redundant",
+        "use_scan_knowledge",
+        "use_justification",
+        "num_chains",
+        "redundancy_backtrack_limit",
+    }
+)
+
+#: Legacy keywords translation_flow historically accepted.
+TRANSLATION_LEGACY = frozenset(
+    {"seed", "baseline_config", "compact", "num_chains"}
+)

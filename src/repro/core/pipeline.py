@@ -20,7 +20,6 @@ from typing import List, Optional
 
 from ..atpg.comb_view import comb_view
 from ..atpg.podem import UNTESTABLE, Podem
-from ..atpg.seq_atpg import SeqATPGConfig
 from ..circuit.netlist import Circuit
 from ..circuit.scan import ScanCircuit, insert_scan
 from ..compaction.base import CompactionOracle
@@ -29,6 +28,12 @@ from ..compaction.restoration import RestorationResult, restoration_compact
 from ..faults.collapse import collapse_faults
 from ..faults.model import Fault
 from ..obs import context as obs
+from .config import (
+    GENERATION_LEGACY,
+    TRANSLATION_LEGACY,
+    FlowConfig,
+    coerce_flow_config,
+)
 from .scan_aware import ScanATPGResult, ScanAwareATPG
 
 if False:  # pragma: no cover - import-time cycle avoidance; see TYPE notes
@@ -105,33 +110,32 @@ class GenerationFlowResult:
 
 def generation_flow(
     circuit: Circuit,
-    seed: int = 0,
-    config: Optional[SeqATPGConfig] = None,
-    compact: bool = True,
-    classify_redundant: bool = True,
-    use_scan_knowledge: bool = True,
-    use_justification: bool = True,
-    num_chains: int = 1,
-    redundancy_backtrack_limit: int = 20000,
+    config: Optional[FlowConfig] = None,
+    **legacy,
 ) -> GenerationFlowResult:
     """Run Section 2 generation (+ Section 4 compaction) on ``circuit``.
 
     ``circuit`` is the *non-scan* circuit; scan insertion, fault
     enumeration/collapsing and everything downstream happen here.
+    ``config`` is a :class:`FlowConfig`; the historical keyword
+    arguments (``seed=``, ``compact=``, ...) are still accepted through
+    a deprecated shim that maps them onto one.
     """
-    config = config or SeqATPGConfig(seed=seed)
+    cfg = coerce_flow_config(
+        "generation_flow", config, legacy, GENERATION_LEGACY
+    )
     with obs.stopwatch("pipeline.generation") as root:
         with obs.span("scan_insert"):
-            scan_circuit = insert_scan(circuit, num_chains=num_chains)
+            scan_circuit = insert_scan(circuit, num_chains=cfg.num_chains)
         with obs.span("collapse"):
             faults = collapse_faults(scan_circuit.circuit)
         with obs.span("atpg"):
             atpg = ScanAwareATPG(
                 scan_circuit,
                 faults,
-                config=config,
-                use_scan_knowledge=use_scan_knowledge,
-                use_justification=use_justification,
+                config=cfg.atpg_config(),
+                use_scan_knowledge=cfg.use_scan_knowledge,
+                use_justification=cfg.use_justification,
             ).generate()
         result = GenerationFlowResult(
             circuit=circuit,
@@ -141,11 +145,11 @@ def generation_flow(
             raw=atpg.sequence,
         )
         obs.coverage("pipeline.atpg", result.detected_total, len(faults))
-        if classify_redundant and atpg.base.aborted:
+        if cfg.classify_redundant and atpg.base.aborted:
             with obs.span("redundancy"):
                 podem = Podem(
                     comb_view(scan_circuit.circuit).circuit,
-                    backtrack_limit=redundancy_backtrack_limit,
+                    backtrack_limit=cfg.redundancy_backtrack_limit,
                 )
                 for fault in atpg.base.aborted:
                     if fault.consumer is not None and \
@@ -153,8 +157,10 @@ def generation_flow(
                         continue
                     if podem.run(fault).status == UNTESTABLE:
                         result.untestable.append(fault)
-        if compact:
-            _compact_into(result, scan_circuit.circuit, atpg.sequence, faults)
+        if cfg.compact:
+            _compact_into(
+                result, scan_circuit.circuit, atpg.sequence, faults, cfg
+            )
     result.elapsed_seconds = root.duration
     return result
 
@@ -192,33 +198,37 @@ class TranslationFlowResult:
 
 def translation_flow(
     circuit: Circuit,
-    seed: int = 0,
-    baseline_config=None,
-    compact: bool = True,
-    num_chains: int = 1,
+    config: Optional[FlowConfig] = None,
     baseline=None,
+    **legacy,
 ) -> TranslationFlowResult:
     """Run the Section 3 experiment on ``circuit`` (see module docstring).
 
-    A precomputed ``baseline`` may be passed to share it with a Table 6
-    run on the same circuit.
+    ``config`` is a :class:`FlowConfig` (its ``baseline`` field holds
+    the conventional-ATPG configuration); the historical keyword
+    arguments go through the same deprecated shim as
+    :func:`generation_flow`.  A precomputed ``baseline`` *result* may be
+    passed to share it with a Table 6 run on the same circuit.
     """
     from ..atpg.scan_seq import SecondApproachATPG, SecondApproachConfig
 
+    cfg = coerce_flow_config(
+        "translation_flow", config, legacy, TRANSLATION_LEGACY
+    )
     with obs.stopwatch("pipeline.translation") as root:
         with obs.span("scan_insert"):
-            scan_circuit = insert_scan(circuit, num_chains=num_chains)
+            scan_circuit = insert_scan(circuit, num_chains=cfg.num_chains)
         with obs.span("collapse"):
             faults = collapse_faults(scan_circuit.circuit)
         if baseline is None:
-            baseline_config = baseline_config or SecondApproachConfig(seed=seed)
+            baseline_config = cfg.baseline or SecondApproachConfig(seed=cfg.seed)
             with obs.span("baseline_atpg"):
                 baseline = SecondApproachATPG(
                     circuit, config=baseline_config
                 ).generate()
         with obs.span("translate"):
             translated = translate_test_set(scan_circuit, baseline.test_set)
-            translated = translated.randomize_x(random.Random(seed ^ 0x7EA5))
+            translated = translated.randomize_x(random.Random(cfg.seed ^ 0x7EA5))
         result = TranslationFlowResult(
             circuit=circuit,
             scan_circuit=scan_circuit,
@@ -226,19 +236,36 @@ def translation_flow(
             baseline=baseline,
             translated=translated,
         )
-        if compact:
-            _compact_into(result, scan_circuit.circuit, translated, faults)
+        if cfg.compact:
+            _compact_into(result, scan_circuit.circuit, translated, faults, cfg)
     result.elapsed_seconds = root.duration
     return result
 
 
-def _compact_into(result, circuit: Circuit, sequence: TestSequence, faults) -> None:
+def _compact_into(
+    result,
+    circuit: Circuit,
+    sequence: TestSequence,
+    faults,
+    cfg: Optional[FlowConfig] = None,
+) -> None:
     """Shared Section 4 tail: restoration (on the detected set), then
-    omission (accounted over the full universe so ``ext det`` shows)."""
-    oracle = CompactionOracle(circuit, faults)
+    omission (accounted over the full universe so ``ext det`` shows).
+    Both stages share one incremental oracle, so omission reuses the
+    packed-state checkpoints restoration left behind."""
+    cfg = cfg or FlowConfig()
+    oracle = CompactionOracle(
+        circuit,
+        faults,
+        checkpoint_interval=cfg.checkpoint_interval,
+        incremental=cfg.incremental,
+    )
     with obs.span("restoration"):
         restored = restoration_compact(circuit, sequence, faults, oracle=oracle)
     with obs.span("omission"):
-        omitted = omission_compact(circuit, restored.sequence, faults, oracle=oracle)
+        omitted = omission_compact(
+            circuit, restored.sequence, faults, oracle=oracle,
+            max_passes=cfg.max_omission_passes,
+        )
     result.restored = restored
     result.omitted = omitted

@@ -274,15 +274,36 @@ class ScanAwareATPG:
     def _verify(self, trace, mini, template) -> Optional[List[Tuple[int, ...]]]:
         """Randomize the template's X positions and simulate the faulty
         machine; accept (truncated at first detection) only if the fault
-        is really detected.  Retries with fresh random fills."""
+        is really detected.  Retries with fresh random fills.
+
+        The leading fully-specified vectors (typically the replayed
+        prefix ``T'``) are identical across retries — no X to fill — so
+        the machine state after them is snapshotted on the first attempt
+        and restored on the rest; only the randomized tail re-simulates.
+        The RNG stream is untouched: fills are drawn per X position and
+        the concrete prefix has none.
+        """
+        concrete = 0
+        for vector in template:
+            if any(value == X for value in vector):
+                break
+            concrete += 1
+        token = None
         for _attempt in range(self.verify_retries):
             candidate = [
                 tuple(self._rng.randint(0, 1) if v == X else v for v in vector)
                 for vector in template
             ]
-            mini.reset()
-            mini.load_machine_states(list(trace.start_states))
-            for index, vector in enumerate(candidate):
-                if mini.step(vector):
+            if token is None:
+                mini.reset()
+                mini.load_machine_states(list(trace.start_states))
+                for index in range(concrete):
+                    if mini.step(candidate[index]):
+                        return candidate[: index + 1]
+                token = mini.save_state()
+            else:
+                mini.restore_state(token)
+            for index in range(concrete, len(candidate)):
+                if mini.step(candidate[index]):
                     return candidate[: index + 1]
         return None

@@ -10,7 +10,8 @@ from __future__ import annotations
 from typing import Dict, Optional
 
 from ..atpg.scan_seq import SecondApproachATPG, SecondApproachResult
-from ..core.pipeline import (
+from ..core import (
+    FlowConfig,
     GenerationFlowResult,
     TranslationFlowResult,
     generation_flow,
@@ -37,11 +38,13 @@ def generation_result(name: str, use_scan_knowledge: bool = True,
     with obs.span(f"experiments.generation.{name}"):
         result = generation_flow(
             suite.build_circuit(name),
-            seed=suite.circuit_seed(name),
-            config=suite.atpg_config_for(name),
-            use_scan_knowledge=use_scan_knowledge,
-            use_justification=use_justification,
-            redundancy_backtrack_limit=redundancy_limit,
+            FlowConfig(
+                seed=suite.circuit_seed(name),
+                atpg=suite.atpg_config_for(name),
+                use_scan_knowledge=use_scan_knowledge,
+                use_justification=use_justification,
+                redundancy_backtrack_limit=redundancy_limit,
+            ),
         )
     obs.event("experiments.generation", circuit=name,
               cached=False, elapsed=round(result.elapsed_seconds, 6))
@@ -68,7 +71,7 @@ def translation_result(name: str) -> TranslationFlowResult:
         with obs.span(f"experiments.translation.{name}"):
             _TRANSLATION[name] = translation_flow(
                 suite.build_circuit(name),
-                seed=suite.circuit_seed(name),
+                FlowConfig(seed=suite.circuit_seed(name)),
                 baseline=baseline,
             )
     return _TRANSLATION[name]

@@ -1,9 +1,17 @@
-"""Simulation substrate: scalar reference logic simulation and the
-bit-parallel sequential stuck-at fault simulator."""
+"""Simulation substrate: scalar reference logic simulation, the
+bit-parallel sequential stuck-at fault simulator, and the incremental
+checkpoint/fault-drop session engine layered on top of it."""
 
-from .fault_sim import FaultSimResult, PackedFaultSimulator
+from .fault_sim import (
+    CompiledTopology,
+    FaultSimResult,
+    PackedFaultSimulator,
+    compiled_topology,
+    iter_fault_positions,
+)
 from .logic_sim import LogicSimulator, vector_from_string
 from .pattern_sim import PackedPatternSimulator
+from .session import SimSession
 from .transition_sim import PackedTransitionSimulator
 
 __all__ = [
@@ -11,6 +19,10 @@ __all__ = [
     "vector_from_string",
     "PackedFaultSimulator",
     "FaultSimResult",
+    "CompiledTopology",
+    "compiled_topology",
+    "iter_fault_positions",
     "PackedPatternSimulator",
     "PackedTransitionSimulator",
+    "SimSession",
 ]

@@ -54,27 +54,99 @@ _KIND_CODE = {
 }
 
 
+def iter_fault_positions(mask: int):
+    """Yield 0-based fault-list indices for the set machine bits of a
+    detection mask (bit 0, the fault-free machine, is never yielded)."""
+    mask &= ~1
+    while mask:
+        low = mask & -mask
+        yield low.bit_length() - 2
+        mask ^= low
+
+
+class CompiledTopology:
+    """Per-circuit flat arrays shared by every packed simulator instance.
+
+    The net indexing, PI/PO/flip-flop index lists and the per-gate
+    ``(kind_code, output_index, input_indices)`` tuples depend only on
+    the circuit, not on the packed fault list — compiling them once and
+    caching on the circuit makes repacking a simulator to a smaller
+    fault set (fault dropping) cheap even for large netlists.
+    """
+
+    __slots__ = ("index", "num_nets", "pi", "po", "flop_q", "flop_d", "gates")
+
+    def __init__(self, circuit: Circuit):
+        nets = circuit.nets()
+        index = {net: i for i, net in enumerate(nets)}
+        self.index = index
+        self.num_nets = len(nets)
+        self.pi = [(index[n], n) for n in circuit.inputs]
+        self.po = [(index[n], f"PO:{n}") for n in circuit.outputs]
+        self.flop_q = [index[f.q] for f in circuit.flops]
+        self.flop_d = [(index[f.d], f.q) for f in circuit.flops]
+        self.gates = [
+            (
+                _KIND_CODE[gate.kind],
+                index[gate.output],
+                tuple(index[n] for n in gate.inputs),
+            )
+            for gate in circuit.topo_gates
+        ]
+
+
+def compiled_topology(circuit: Circuit) -> CompiledTopology:
+    """The (cached) flat-array compilation of ``circuit``."""
+    cached = getattr(circuit, "_packed_topology", None)
+    if cached is None:
+        cached = CompiledTopology(circuit)
+        circuit._packed_topology = cached
+    return cached
+
+
 @dataclass
 class FaultSimResult:
-    """Outcome of simulating one test sequence against a fault list."""
+    """Outcome of simulating one test sequence against a fault list.
+
+    Treated as immutable once the simulation that built it returns: the
+    ``detected``/``undetected`` partitions are computed once on first
+    access and cached (they used to be rebuilt — an O(faults) scan — on
+    every property read, which hot loops in compaction paid repeatedly).
+    """
 
     faults: List[Fault]
     detection_time: Dict[Fault, int] = field(default_factory=dict)
     num_vectors: int = 0
+    _detected: Optional[List[Fault]] = field(
+        default=None, init=False, repr=False, compare=False)
+    _undetected: Optional[List[Fault]] = field(
+        default=None, init=False, repr=False, compare=False)
+
+    @property
+    def detected_set(self) -> Dict[Fault, int]:
+        """The detection map itself — membership is the O(1) detected
+        test; exposed under the name the partitions derive from."""
+        return self.detection_time
 
     @property
     def detected(self) -> List[Fault]:
-        return [f for f in self.faults if f in self.detection_time]
+        if self._detected is None:
+            detected_set = self.detection_time
+            self._detected = [f for f in self.faults if f in detected_set]
+        return self._detected
 
     @property
     def undetected(self) -> List[Fault]:
-        return [f for f in self.faults if f not in self.detection_time]
+        if self._undetected is None:
+            detected_set = self.detection_time
+            self._undetected = [f for f in self.faults if f not in detected_set]
+        return self._undetected
 
     def coverage(self) -> float:
         """Fault coverage in percent (paper's ``fcov`` column)."""
         if not self.faults:
             return 100.0
-        return 100.0 * len(self.detection_time) / len(self.faults)
+        return 100.0 * len(self.detected_set) / len(self.faults)
 
 
 class PackedFaultSimulator:
@@ -99,13 +171,15 @@ class PackedFaultSimulator:
         self.full_mask = (1 << self.num_machines) - 1
         self.fault_mask = self.full_mask & ~1  # every machine except fault-free
 
-        nets = circuit.nets()
-        index = {net: i for i, net in enumerate(nets)}
+        # The fault-independent flat arrays are compiled once per circuit
+        # and shared; only the injection masks depend on the fault list.
+        topology = compiled_topology(circuit)
+        index = topology.index
         self._index = index
-        self._pi = [(index[n], n) for n in circuit.inputs]
-        self._po = [(index[n], f"PO:{n}") for n in circuit.outputs]
-        self._flop_q = [index[f.q] for f in circuit.flops]
-        self._flop_d = [(index[f.d], f.q) for f in circuit.flops]
+        self._pi = topology.pi
+        self._po = topology.po
+        self._flop_q = topology.flop_q
+        self._flop_d = topology.flop_d
 
         stem_masks, branch_masks = self._compile_masks(index)
         self._pi_masks = [stem_masks.get(n) for _i, n in self._pi]
@@ -114,22 +188,23 @@ class PackedFaultSimulator:
         self._flop_d_masks = [branch_masks.get((f.q, 0)) for f in circuit.flops]
 
         gates = []
-        for gate in circuit.topo_gates:
+        gate_names = circuit.topo_gates
+        for gate, (code, out_idx, in_idx) in zip(gate_names, topology.gates):
             in_masks = tuple(
                 branch_masks.get((gate.output, pin))
                 for pin in range(len(gate.inputs))
             )
             gates.append((
-                _KIND_CODE[gate.kind],
-                index[gate.output],
-                tuple(index[n] for n in gate.inputs),
+                code,
+                out_idx,
+                in_idx,
                 in_masks if any(m is not None for m in in_masks) else None,
                 stem_masks.get(gate.output),
             ))
         self._gates = gates
 
-        self._ones = [0] * len(nets)
-        self._zeros = [0] * len(nets)
+        self._ones = [0] * topology.num_nets
+        self._zeros = [0] * topology.num_nets
         self._state: List[Tuple[int, int]] = [(0, 0)] * len(circuit.flops)
         self.time = 0
 
@@ -183,6 +258,27 @@ class PackedFaultSimulator:
         state, time = token
         self._state = list(state)
         self.time = time
+
+    @staticmethod
+    def remap_state_token(token, kept_bits: Sequence[int]):
+        """Project a :meth:`save_state` token onto a narrower packing.
+
+        ``kept_bits[j]`` is the old machine bit that becomes machine
+        ``j`` in the new packing.  Machines are simulated independently,
+        so the projected token restored into a simulator packed over the
+        kept faults is bit-identical to having simulated that narrower
+        packing from the start — which lets a session keep its
+        checkpoints across fault-dropping repacks.
+        """
+        state, time = token
+        new_state = []
+        for ones, zeros in state:
+            new_ones = new_zeros = 0
+            for new_bit, old_bit in enumerate(kept_bits):
+                new_ones |= ((ones >> old_bit) & 1) << new_bit
+                new_zeros |= ((zeros >> old_bit) & 1) << new_bit
+            new_state.append((new_ones, new_zeros))
+        return (new_state, time)
 
     def machine_state(self, machine: int) -> Tuple[int, ...]:
         """Scalar flip-flop values of one machine (0 = fault-free)."""
@@ -264,6 +360,7 @@ class PackedFaultSimulator:
         ones = self._ones
         zeros = self._zeros
         full = self.full_mask
+        gates = self._gates
 
         for (idx, _name), mask, value in zip(self._pi, self._pi_masks, vector):
             if value == ONE:
@@ -287,7 +384,7 @@ class PackedFaultSimulator:
             ones[idx] = so
             zeros[idx] = sz
 
-        for code, out_idx, in_idx, in_masks, out_mask in self._gates:
+        for code, out_idx, in_idx, in_masks, out_mask in gates:
             if in_masks is None:
                 if code == _NOT:
                     o, z = zeros[in_idx[0]], ones[in_idx[0]]
@@ -413,15 +510,15 @@ class PackedFaultSimulator:
         if reset:
             self.reset()
         result = FaultSimResult(faults=list(self.faults))
+        faults = self.faults
+        detection_time = result.detection_time
         remaining = self.fault_mask
         for t, vector in enumerate(vectors):
             newly = self.step(vector) & remaining
             if newly:
                 remaining &= ~newly
-                for position, fault in enumerate(self.faults):
-                    bit = 1 << (position + 1)
-                    if newly & bit:
-                        result.detection_time[fault] = t
+                for position in iter_fault_positions(newly):
+                    detection_time[faults[position]] = t
             result.num_vectors = t + 1
             if stop_when_all_detected and remaining == 0:
                 break
@@ -443,11 +540,8 @@ class PackedFaultSimulator:
 
     def faults_from_mask(self, mask: int) -> List[Fault]:
         """Decode a detection mask into the fault objects it covers."""
-        return [
-            fault
-            for position, fault in enumerate(self.faults)
-            if mask & (1 << (position + 1))
-        ]
+        faults = self.faults
+        return [faults[position] for position in iter_fault_positions(mask)]
 
 
 def _eval_packed(code: int, values, full: int):

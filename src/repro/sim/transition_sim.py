@@ -26,7 +26,12 @@ from typing import Dict, Iterable, List, Sequence, Tuple
 from ..circuit.gates import ONE, X, ZERO
 from ..circuit.netlist import Circuit
 from ..faults.transition import RISE, TransitionFault
-from .fault_sim import FaultSimResult, _KIND_CODE, _eval_packed
+from .fault_sim import (
+    FaultSimResult,
+    _eval_packed,
+    compiled_topology,
+    iter_fault_positions,
+)
 from .logic_sim import vector_from_string
 
 
@@ -48,17 +53,13 @@ class PackedTransitionSimulator:
         self.full_mask = (1 << self.num_machines) - 1
         self.fault_mask = self.full_mask & ~1
 
-        nets = circuit.nets()
-        self._index = {net: i for i, net in enumerate(nets)}
-        self._pi_idx = [self._index[n] for n in circuit.inputs]
+        topology = compiled_topology(circuit)
+        self._index = topology.index
+        self._pi_idx = [idx for idx, _n in topology.pi]
         self._po_idx = [self._index[n] for n in circuit.outputs]
-        self._flop_q = [self._index[f.q] for f in circuit.flops]
+        self._flop_q = topology.flop_q
         self._flop_d = [self._index[f.d] for f in circuit.flops]
-        self._gates = [
-            (_KIND_CODE[g.kind], self._index[g.output],
-             tuple(self._index[n] for n in g.inputs))
-            for g in circuit.topo_gates
-        ]
+        self._gates = topology.gates
 
         # Injection tables: net index -> (slow_to_rise bits, slow_to_fall bits)
         site_masks: Dict[int, List[int]] = {}
@@ -78,8 +79,8 @@ class PackedTransitionSimulator:
         # Previous-cycle (post-injection) planes per monitored net.
         self._prev: Dict[int, Tuple[int, int]] = {}
 
-        self._ones = [0] * len(nets)
-        self._zeros = [0] * len(nets)
+        self._ones = [0] * topology.num_nets
+        self._zeros = [0] * topology.num_nets
         self._state: List[Tuple[int, int]] = [(0, 0)] * len(circuit.flops)
         self.time = 0
 
@@ -101,6 +102,27 @@ class PackedTransitionSimulator:
         self._state = list(state)
         self._prev = dict(prev)
         self.time = time
+
+    @staticmethod
+    def remap_state_token(token, kept_bits: Sequence[int]):
+        """Project a :meth:`save_state` token onto a narrower packing
+        (see :meth:`PackedFaultSimulator.remap_state_token`); the
+        per-site transition history is projected along with the state."""
+        state, prev, time = token
+
+        def project(pair):
+            ones, zeros = pair
+            new_ones = new_zeros = 0
+            for new_bit, old_bit in enumerate(kept_bits):
+                new_ones |= ((ones >> old_bit) & 1) << new_bit
+                new_zeros |= ((zeros >> old_bit) & 1) << new_bit
+            return (new_ones, new_zeros)
+
+        return (
+            [project(pair) for pair in state],
+            {idx: project(pair) for idx, pair in prev.items()},
+            time,
+        )
 
     def load_machine_states(self, states: Sequence[Sequence[int]]) -> None:
         """Load a scalar flip-flop state per machine (history cleared, so
@@ -168,10 +190,8 @@ class PackedTransitionSimulator:
 
     def faults_from_mask(self, mask: int) -> List[TransitionFault]:
         """Decode a detection mask into fault objects."""
-        return [
-            fault for position, fault in enumerate(self.faults)
-            if mask & (1 << (position + 1))
-        ]
+        faults = self.faults
+        return [faults[position] for position in iter_fault_positions(mask)]
 
     def good_outputs(self) -> Tuple[int, ...]:
         """Fault-free primary output values of the last step."""
@@ -262,14 +282,14 @@ class PackedTransitionSimulator:
         if reset:
             self.reset()
         result = FaultSimResult(faults=list(self.faults))
+        faults = self.faults
         remaining = self.fault_mask
         for t, vector in enumerate(vectors):
             newly = self.step(vector) & remaining
             if newly:
                 remaining &= ~newly
-                for position, fault in enumerate(self.faults):
-                    if newly & (1 << (position + 1)):
-                        result.detection_time[fault] = t
+                for position in iter_fault_positions(newly):
+                    result.detection_time[faults[position]] = t
             result.num_vectors = t + 1
             if stop_when_all_detected and remaining == 0:
                 break

@@ -5,6 +5,7 @@ import random
 import pytest
 
 from repro import (
+    FlowConfig,
     CombScanATPG,
     ScanAwareATPG,
     SecondApproachATPG,
@@ -34,7 +35,7 @@ class TestRoundTripScenarios:
         assert again == sc.circuit
 
     def test_generated_sequence_exports(self, tmp_path):
-        flow = generation_flow(s27(), seed=1)
+        flow = generation_flow(s27(), FlowConfig(seed=1))
         sequence = flow.omitted.sequence
         vcd = to_vcd(sequence, circuit=flow.scan_circuit.circuit)
         stil = to_stil(sequence, circuit=flow.scan_circuit.circuit)
@@ -81,7 +82,7 @@ class TestCrossEngineConsistency:
     def test_flow_results_internally_consistent(self):
         """generation_flow's claims are reproducible from its artifacts
         alone (no trust in intermediate bookkeeping)."""
-        flow = generation_flow(s27(), seed=9)
+        flow = generation_flow(s27(), FlowConfig(seed=9))
         sim = PackedFaultSimulator(flow.scan_circuit.circuit, flow.faults)
         raw = sim.run(list(flow.raw.vectors))
         assert len(raw.detection_time) == flow.detected_total
@@ -91,7 +92,7 @@ class TestCrossEngineConsistency:
     def test_translation_flow_vs_manual_steps(self):
         """translation_flow == translate + randomize + compact by hand."""
         circuit = s27()
-        flow = translation_flow(circuit, seed=2)
+        flow = translation_flow(circuit, FlowConfig(seed=2))
         sc = flow.scan_circuit
         manual = translate_test_set(sc, flow.baseline.test_set)
         assert len(manual) == flow.baseline_cycles
@@ -102,7 +103,7 @@ class TestCrossEngineConsistency:
 class TestDifferentSeedsDifferentSequencesSameClaims:
     @pytest.mark.parametrize("seed", [11, 22, 33])
     def test_claims_hold_across_seeds(self, seed):
-        flow = generation_flow(s27(), seed=seed)
+        flow = generation_flow(s27(), FlowConfig(seed=seed))
         assert flow.fault_coverage == 100.0
         assert flow.omitted_stats().total <= flow.restored_stats().total \
             <= flow.raw_stats().total

@@ -4,18 +4,18 @@ import pytest
 
 from repro.atpg import SeqATPGConfig
 from repro.circuit import random_circuit, s27
-from repro.core import generation_flow, translation_flow
+from repro.core import FlowConfig, generation_flow, translation_flow
 from repro.sim import PackedFaultSimulator
 
 
 @pytest.fixture(scope="module")
 def s27_generation():
-    return generation_flow(s27(), seed=1)
+    return generation_flow(s27(), FlowConfig(seed=1))
 
 
 @pytest.fixture(scope="module")
 def s27_translation():
-    return translation_flow(s27(), seed=1)
+    return translation_flow(s27(), FlowConfig(seed=1))
 
 
 class TestGenerationFlow:
@@ -48,7 +48,7 @@ class TestGenerationFlow:
         assert any(run < n_sv for run in runs)
 
     def test_no_compact_flag(self):
-        flow = generation_flow(s27(), seed=1, compact=False)
+        flow = generation_flow(s27(), FlowConfig(seed=1, compact=False))
         assert flow.restored is None
         assert flow.omitted is None
         assert flow.extra_detected == 0
@@ -58,9 +58,10 @@ class TestGenerationFlow:
         it and the testable coverage lands at (or near) 100%."""
         circuit = random_circuit("p", 3, 10, 70, seed=51)
         flow = generation_flow(
-            circuit, seed=1,
-            config=SeqATPGConfig(seed=1, initial_random_vectors=32,
-                                 max_subseq_len=16, restarts=1),
+            circuit,
+            FlowConfig(seed=1,
+                       atpg=SeqATPGConfig(seed=1, initial_random_vectors=32,
+                                          max_subseq_len=16, restarts=1)),
         )
         assert flow.untestable, "random logic should have redundancy"
         assert flow.testable_coverage >= 99.0
@@ -92,7 +93,7 @@ class TestTranslationFlow:
 
     def test_baseline_reuse(self, s27_translation):
         """Passing a precomputed baseline skips regeneration."""
-        flow2 = translation_flow(s27(), seed=1,
+        flow2 = translation_flow(s27(), FlowConfig(seed=1),
                                  baseline=s27_translation.baseline)
         assert flow2.baseline is s27_translation.baseline
         assert flow2.baseline_cycles == s27_translation.baseline_cycles
@@ -109,13 +110,66 @@ class TestTranslationFlow:
             or len(after) < len(before)
 
 
+class TestFlowConfig:
+    def test_frozen(self):
+        cfg = FlowConfig(seed=1)
+        with pytest.raises(Exception):
+            cfg.seed = 2
+
+    def test_replace(self):
+        cfg = FlowConfig(seed=1).replace(num_chains=2)
+        assert (cfg.seed, cfg.num_chains) == (1, 2)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FlowConfig(checkpoint_interval=0)
+        with pytest.raises(ValueError):
+            FlowConfig(max_omission_passes=0)
+        with pytest.raises(ValueError):
+            FlowConfig(num_chains=0)
+
+    def test_legacy_kwargs_warn_and_match(self, s27_generation):
+        """The deprecated keyword shim produces the same flow as the
+        equivalent FlowConfig."""
+        with pytest.warns(DeprecationWarning):
+            legacy = generation_flow(s27(), seed=1)
+        assert legacy.omitted_stats() == s27_generation.omitted_stats()
+        assert legacy.fault_coverage == s27_generation.fault_coverage
+
+    def test_legacy_positional_seed(self):
+        with pytest.warns(DeprecationWarning):
+            flow = generation_flow(s27(), 1, compact=False)
+        assert flow.restored is None
+
+    def test_legacy_atpg_config_kwarg(self):
+        with pytest.warns(DeprecationWarning):
+            flow = generation_flow(
+                s27(), config=SeqATPGConfig(seed=1), compact=False)
+        assert flow.raw is not None
+
+    def test_translation_legacy_kwargs_warn(self):
+        with pytest.warns(DeprecationWarning):
+            translation_flow(s27(), seed=1, compact=False)
+
+    def test_config_plus_legacy_rejected(self):
+        with pytest.raises(TypeError):
+            generation_flow(s27(), FlowConfig(seed=1), compact=False)
+
+    def test_unknown_kwarg_rejected(self):
+        with pytest.raises(TypeError):
+            generation_flow(s27(), bogus=True)
+        with pytest.raises(TypeError):
+            # generation-only keyword is not valid for translation
+            translation_flow(s27(), use_justification=False)
+
+
 class TestHeadlineClaim:
     def test_generated_beats_complete_scan_baseline(self):
         """Table 6's claim on the exact s27: the compacted limited-scan
         sequence applies in fewer cycles than the conventional baseline,
         at equal-or-better fault coverage."""
-        gen = generation_flow(s27(), seed=1)
-        trans = translation_flow(s27(), seed=1)
+        gen = generation_flow(s27(), FlowConfig(seed=1))
+        trans = translation_flow(s27(), FlowConfig(seed=1))
         assert gen.omitted_stats().total < trans.baseline_cycles
         sim = PackedFaultSimulator(gen.scan_circuit.circuit, gen.faults)
         coverage = sim.run(list(gen.omitted.sequence.vectors)).coverage()

@@ -1,0 +1,20 @@
+"""The package-root public surface (repro.__all__) is the contract."""
+
+import repro
+
+
+def test_all_names_resolve():
+    for name in repro.__all__:
+        assert getattr(repro, name, None) is not None, name
+
+
+def test_key_entry_points_exported():
+    for name in ("FlowConfig", "generation_flow", "translation_flow",
+                 "SimSession", "PackedFaultSimulator", "CompactionOracle",
+                 "GenerationFlowResult", "TranslationFlowResult",
+                 "OmissionResult", "RestorationResult"):
+        assert name in repro.__all__
+
+
+def test_no_duplicate_all_entries():
+    assert len(repro.__all__) == len(set(repro.__all__))
