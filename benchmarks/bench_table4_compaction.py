@@ -5,7 +5,13 @@ The paper shows that the non-scan compaction procedures, applied to the
 scan operations — producing a shorter sequence whose scan runs are
 reshaped.  This bench regenerates the Section 2 sequence and compacts
 it, asserting the paper's ordering (omit <= restor <= raw) and that
-coverage is fully preserved."""
+coverage is fully preserved.
+
+Run as a script (``python benchmarks/bench_table4_compaction.py
+--metrics-out BENCH_table4.json``) it executes the same flow inside a
+telemetry session and writes the metrics artifact — the committed
+``BENCH_table4.json`` baseline that CI diffs fresh runs against with
+``repro-atpg diff-metrics``."""
 
 from repro.atpg import SeqATPGConfig
 from repro.circuit import insert_scan, s27
@@ -18,16 +24,23 @@ from conftest import emit
 
 
 def run():
-    sc = insert_scan(s27())
-    faults = collapse_faults(sc.circuit)
-    generated = ScanAwareATPG(
-        sc, faults, config=SeqATPGConfig(seed=1)
-    ).generate()
-    oracle = CompactionOracle(sc.circuit, faults)
-    restored = restoration_compact(sc.circuit, generated.sequence, faults,
-                                   oracle=oracle)
-    omitted = omission_compact(sc.circuit, restored.sequence, faults,
-                               oracle=oracle)
+    from repro.obs import context as obs
+
+    with obs.span("bench_table4"):
+        with obs.span("generate"):
+            sc = insert_scan(s27())
+            faults = collapse_faults(sc.circuit)
+            generated = ScanAwareATPG(
+                sc, faults, config=SeqATPGConfig(seed=1)
+            ).generate()
+        oracle = CompactionOracle(sc.circuit, faults)
+        with obs.span("restoration"):
+            restored = restoration_compact(sc.circuit, generated.sequence,
+                                           faults, oracle=oracle)
+        with obs.span("omission"):
+            omitted = omission_compact(sc.circuit, restored.sequence, faults,
+                                       oracle=oracle)
+        oracle.close()
     return sc, faults, generated, restored, omitted
 
 
@@ -54,3 +67,31 @@ def bench_table4_compaction(benchmark, report_dir):
         omitted.sequence.to_table(),
     ]
     emit(report_dir, "table4", "\n".join(lines))
+
+
+def main(argv=None):
+    """Standalone baseline producer for the diff-metrics CI gate."""
+    import argparse
+
+    from repro import obs
+
+    parser = argparse.ArgumentParser(
+        description="run the Table 4 compaction flow under telemetry and "
+                    "write the metrics artifact")
+    parser.add_argument("--metrics-out", metavar="FILE", required=True)
+    args = parser.parse_args(argv)
+    with obs.session() as telemetry:
+        _sc, _faults, generated, restored, omitted = run()
+    raw = generated.sequence
+    print(f"raw {len(raw)} -> restoration {len(restored.sequence)} "
+          f"-> omission {len(omitted.sequence)} vectors")
+    obs.write_metrics_json(args.metrics_out, telemetry,
+                           meta={"bench": "table4", "circuit": "s27"})
+    print(f"metrics written to {args.metrics_out}")
+    return 0
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.exit(main())

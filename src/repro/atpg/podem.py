@@ -43,6 +43,7 @@ from ..circuit.gates import CONTROLLING_VALUE, INVERTING, ONE, X, ZERO, eval_gat
 from ..circuit.netlist import Circuit
 from ..faults.model import BRANCH, STEM, Fault
 from ..obs import context as obs
+from ..obs import ledger
 
 DETECTED = "detected"
 UNTESTABLE = "untestable"
@@ -164,6 +165,8 @@ class Podem:
         obs.incr(f"atpg.podem.{result.status}")
         if result.backtracks:
             obs.incr("atpg.backtracks", result.backtracks)
+        ledger.record("atpg.podem", fault=result.fault, engine="podem",
+                      status=result.status, backtracks=result.backtracks)
         return result
 
     # -- fault site compilation -----------------------------------------------

@@ -38,6 +38,7 @@ from ..circuit.netlist import Circuit
 from ..testseq.scan_tests import ScanTest, ScanTestSet
 from ..faults.collapse import collapse_faults
 from ..faults.model import Fault
+from ..obs import ledger
 from ..sim.fault_sim import PackedFaultSimulator
 from .comb_view import comb_view, view_fault
 from .podem import ABORTED, UNTESTABLE, Podem
@@ -108,12 +109,14 @@ class SecondApproachATPG:
         for fault in self.faults:
             if not undetected_mask & (1 << position_of[fault]):
                 continue
+            ledger.record("atpg.target", fault=fault, engine="scan_seq")
             podem_result = self._podem.run(view_fault(self.circuit, fault))
             if podem_result.status == UNTESTABLE:
                 result.untestable.append(fault)
                 undetected_mask &= ~(1 << position_of[fault])
                 continue
             if podem_result.status == ABORTED:
+                ledger.record("atpg.abort", fault=fault, engine="scan_seq")
                 result.aborted.append(fault)
                 undetected_mask &= ~(1 << position_of[fault])
                 continue
@@ -126,8 +129,12 @@ class SecondApproachATPG:
             result.test_set.append(test)
             newly = scan_test_detections(sim, test) & undetected_mask
             undetected_mask &= ~newly
+            want_ledger = ledger.enabled()
             for detected in sim.faults_from_mask(newly):
                 result.detected_by.setdefault(detected, index)
+                if want_ledger:
+                    ledger.record("atpg.detect", fault=detected, vector=index,
+                                  engine="scan_seq", unit="test")
 
         if self.config.compact and len(result.test_set):
             from ..compaction.scan_set import reverse_order_compact, trim_test_tails

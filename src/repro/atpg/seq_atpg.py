@@ -34,6 +34,7 @@ from ..circuit.gates import ONE, X, ZERO
 from ..circuit.netlist import Circuit
 from ..faults.model import Fault
 from ..obs import context as obs
+from ..obs import ledger
 from ..sim.fault_sim import PackedFaultSimulator
 from ..testseq.sequences import TestSequence
 
@@ -165,9 +166,11 @@ class SequentialATPG:
             if fault in result.detection_time:
                 continue
             obs.incr("atpg.seq.targets")
+            ledger.record("atpg.target", fault=fault, engine="seq")
             subsequence, via_hook = self._target(fault, sim)
             if subsequence is None:
                 obs.incr("atpg.seq.aborted")
+                ledger.record("atpg.abort", fault=fault, engine="seq")
                 result.aborted.append(fault)
                 continue
             obs.observe("atpg.seq.subseq_len", len(subsequence))
@@ -176,10 +179,13 @@ class SequentialATPG:
                 # Verified during search/hook but not confirmed globally —
                 # treat as aborted rather than claim a phantom detection.
                 obs.incr("atpg.seq.aborted")
+                ledger.record("atpg.abort", fault=fault, engine="seq",
+                              unconfirmed=True)
                 result.aborted.append(fault)
                 continue
             if via_hook:
                 obs.incr("atpg.seq.hook_detections")
+                ledger.record("atpg.hook_detect", fault=fault)
                 result.hook_detected.append(fault)
             sim = self._maybe_repack(sim, sequence, result)
 
@@ -201,18 +207,43 @@ class SequentialATPG:
 
     def _apply_suffix(self, sim, suffix, sequence, result) -> None:
         """Append ``suffix`` to the global sequence, simulating it on the
-        global fault simulator and recording first detections."""
+        global fault simulator and recording first detections (with their
+        observation points when the fault ledger is recording)."""
         base_time = len(sequence)
-        before = len(result.detection_time)
+        detection_time = result.detection_time
+        before = len(detection_time)
+        want_ledger = ledger.enabled()
         for offset, vector in enumerate(suffix):
             newly = sim.step(vector)
             if newly:
-                for fault in sim.faults_from_mask(newly):
-                    result.detection_time.setdefault(fault, base_time + offset)
+                if want_ledger:
+                    self._record_detections(sim, newly, base_time + offset,
+                                            detection_time)
+                else:
+                    for fault in sim.faults_from_mask(newly):
+                        detection_time.setdefault(fault, base_time + offset)
             sequence.append(tuple(vector))
-        dropped = len(result.detection_time) - before
+        dropped = len(detection_time) - before
         if dropped:
             obs.incr("faultsim.faults_dropped", dropped)
+
+    @staticmethod
+    def _record_detections(sim, newly, time, detection_time) -> None:
+        """Ledger-recording twin of the setdefault loop: per genuinely
+        new detection, note the vector index and observation points."""
+        faults = sim.faults
+        scan = newly & ~1
+        while scan:
+            low = scan & -scan
+            scan ^= low
+            fault = faults[low.bit_length() - 2]
+            if fault in detection_time:
+                continue
+            detection_time[fault] = time
+            observed = sim.detecting_outputs(low) \
+                if hasattr(sim, "detecting_outputs") else None
+            ledger.record("atpg.detect", fault=fault, vector=time,
+                          engine="seq", observed=observed)
 
     def _maybe_repack(self, sim, sequence, result):
         """Shrink the packed simulator to undetected faults when worth it.
@@ -228,11 +259,16 @@ class SequentialATPG:
             return sim
         packed = self.simulator_factory(self.circuit, undetected)
         packed.reset()
+        want_ledger = ledger.enabled()
         for t, vector in enumerate(sequence):
             newly = packed.step(vector)
             if newly:
-                for fault in packed.faults_from_mask(newly):
-                    result.detection_time.setdefault(fault, t)
+                if want_ledger:
+                    self._record_detections(packed, newly, t,
+                                            result.detection_time)
+                else:
+                    for fault in packed.faults_from_mask(newly):
+                        result.detection_time.setdefault(fault, t)
         return packed
 
     # -- per-fault search ------------------------------------------------------------

@@ -4,11 +4,14 @@ Subcommands::
 
     repro-atpg generate  <circuit> [--seed N] [--no-compact] [--show-sequence]
     repro-atpg translate <circuit> [--seed N]
-    repro-atpg profile   <circuit> [--seed N] [--skip-translation]
+    repro-atpg profile   <circuit> [--seed N] [--skip-translation] [--top N]
     repro-atpg table     {5,6,7}   [--profile quick|default|full]
     repro-atpg analyze   <circuit> [--hardest N]
     repro-atpg report    [--profile ...] [--out FILE]
     repro-atpg export    <circuit> <out.vcd|out.stil> [--seed N]
+    repro-atpg explain-fault  <circuit> <fault> [--seed N]
+    repro-atpg explain-vector <circuit> [index] [--seed N]
+    repro-atpg diff-metrics <old.json> <new.json> [--threshold PAT=PCT ...]
     repro-atpg info      <circuit>
     repro-atpg list
 
@@ -104,7 +107,56 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     if not args.skip_translation:
         translation_flow(circuit, _flow_config(args))
     print(obs.render_profile(
-        telemetry, title=f"{circuit.name}: per-phase time breakdown"))
+        telemetry, title=f"{circuit.name}: per-phase time breakdown",
+        top=args.top))
+    return 0
+
+
+def _cmd_explain_fault(args: argparse.Namespace) -> int:
+    circuit = _resolve_circuit(args.circuit)
+    fault_ledger = obs.active().ledger
+    flow = generation_flow(circuit, _flow_config(args))
+    fault = next((f for f in flow.faults if str(f) == args.fault), None)
+    if fault is None:
+        print(f"fault {args.fault!r} is not in the collapsed universe of "
+              f"{circuit.name} ({len(flow.faults)} fault classes)")
+        close = [str(f) for f in flow.faults if args.fault in str(f)]
+        if close:
+            print("did you mean: " + ", ".join(close[:6]))
+        return 1
+    print(obs.explain_fault(fault_ledger, fault))
+    return 0
+
+
+def _cmd_explain_vector(args: argparse.Namespace) -> int:
+    circuit = _resolve_circuit(args.circuit)
+    fault_ledger = obs.active().ledger
+    generation_flow(circuit, _flow_config(args))
+    print(obs.explain_vector(fault_ledger, args.index))
+    return 0
+
+
+def _cmd_diff_metrics(args: argparse.Namespace) -> int:
+    try:
+        old = obs.load_metrics(args.old)
+        new = obs.load_metrics(args.new)
+        thresholds = [obs.parse_threshold(spec) for spec in args.threshold]
+    except ValueError as exc:
+        print(f"diff-metrics: {exc}")
+        return 2
+    rows = obs.diff_metrics(old, new)
+    print(obs.render_diff(rows, top=args.top, only_changed=not args.all))
+    violations = obs.check_thresholds(rows, thresholds)
+    if violations:
+        print()
+        for row, pattern, limit in violations:
+            rel = "inf" if row.rel == float("inf") else f"{100 * row.rel:.1f}"
+            print(f"REGRESSION {row.name}: {row.old:g} -> {row.new:g} "
+                  f"(+{rel}% > {limit:g}% allowed by '{pattern}')")
+        return 1
+    if thresholds:
+        print(f"\nall thresholds satisfied "
+              f"({len(thresholds)} pattern(s) checked)")
     return 0
 
 
@@ -217,7 +269,43 @@ def build_parser() -> argparse.ArgumentParser:
     prof.add_argument("circuit")
     prof.add_argument("--skip-translation", action="store_true",
                       help="profile the generation flow only")
+    prof.add_argument("--top", type=int, default=None, metavar="N",
+                      help="show only the N most expensive phases")
     prof.set_defaults(func=_cmd_profile)
+
+    exf = sub.add_parser("explain-fault", parents=[telemetry, flowopts],
+                         help="run the generation flow with the fault "
+                              "ledger on and replay one fault's lifecycle")
+    exf.add_argument("circuit")
+    exf.add_argument("fault",
+                     help="collapsed fault class, e.g. 'G10/SA0' or "
+                          "'G5->G9.B/SA1'")
+    exf.set_defaults(func=_cmd_explain_fault)
+
+    exv = sub.add_parser("explain-vector", parents=[telemetry, flowopts],
+                         help="attribute the kept vectors of the "
+                              "compacted sequence (all, or one index)")
+    exv.add_argument("circuit")
+    exv.add_argument("index", nargs="?", type=int, default=None,
+                     help="final-sequence vector index (omit for the "
+                          "full per-vector table)")
+    exv.set_defaults(func=_cmd_explain_vector)
+
+    diff = sub.add_parser("diff-metrics",
+                          help="compare two --metrics-out artifacts and "
+                               "gate on regression thresholds")
+    diff.add_argument("old", help="baseline artifact (e.g. BENCH_table4.json)")
+    diff.add_argument("new", help="freshly produced artifact")
+    diff.add_argument("--threshold", action="append", default=[],
+                      metavar="PATTERN=PCT",
+                      help="fail (exit 1) when a metric matching the "
+                           "shell-style PATTERN increased by more than "
+                           "PCT percent; repeatable")
+    diff.add_argument("--top", type=int, default=None, metavar="N",
+                      help="show only the N largest movers")
+    diff.add_argument("--all", action="store_true",
+                      help="also list unchanged metrics")
+    diff.set_defaults(func=_cmd_diff_metrics)
 
     table = sub.add_parser("table", parents=[telemetry],
                            help="regenerate a paper table")
@@ -269,13 +357,14 @@ def main(argv: Optional[list] = None) -> int:
     args = build_parser().parse_args(argv)
     trace = getattr(args, "trace", None)
     metrics_out = getattr(args, "metrics_out", None)
+    wants_ledger = args.command in ("explain-fault", "explain-vector")
     wants_telemetry = (
         trace is not None or metrics_out is not None
-        or args.command == "profile"
+        or args.command == "profile" or wants_ledger
     )
     if not wants_telemetry:
         return args.func(args)
-    with obs.session(trace=trace) as telemetry:
+    with obs.session(trace=trace, ledger=wants_ledger) as telemetry:
         status = args.func(args)
     if metrics_out:
         meta = {"command": args.command}

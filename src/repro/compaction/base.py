@@ -124,6 +124,11 @@ class CompactionOracle:
         query and before its final full-universe accounting."""
         self.session.restore_dropped()
 
+    def close(self) -> Dict[str, int]:
+        """Flush the underlying session's lifetime counters to the
+        telemetry journal (see :meth:`SimSession.close`)."""
+        return self.session.close()
+
     # -- legacy checkpoints --------------------------------------------------
 
     @property

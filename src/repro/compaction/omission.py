@@ -32,6 +32,7 @@ from typing import List, Optional, Sequence
 
 from ..circuit.netlist import Circuit
 from ..obs import context as obs
+from ..obs import ledger
 from ..testseq.sequences import TestSequence
 from ..faults.model import Fault
 from .base import CompactionOracle
@@ -68,10 +69,15 @@ def omission_compact(
     oracle = oracle or CompactionOracle(circuit, faults)
     oracle.restore_dropped()  # a shared oracle may carry drops
     vectors = list(sequence.vectors)
+    #: vectors[i] is input-sequence vector origins[i]; deleted in
+    #: lockstep so every keep/omit decision names its original index.
+    origins = list(range(len(vectors)))
     required_mask = 0
+    want_ledger = ledger.enabled()
+    session = oracle.session
 
     omitted_total = 0
-    for _pass in range(max_passes):
+    for pass_no in range(max_passes):
         obs.incr("compaction.omission.passes")
         omitted_this_pass = 0
 
@@ -89,7 +95,11 @@ def omission_compact(
         last = max(times.values()) if times else -1
         if last + 1 < len(vectors):
             omitted_this_pass += len(vectors) - (last + 1)
+            if want_ledger:
+                ledger.record("omission.tail", origins=origins[last + 1:],
+                              pass_no=pass_no)
             del vectors[last + 1:]
+            del origins[last + 1:]
 
         # Faults ordered by detection time, as (time, mask) pairs; a
         # pointer sweeps them into the needed set as the index falls.
@@ -104,9 +114,29 @@ def omission_compact(
                 need_after |= by_time[cursor][1]
             obs.incr("compaction.omission.attempts")
             trial = vectors[:index] + vectors[index + 1:]
-            if oracle.detects_all(trial, need_after):
+            if want_ledger:
+                cycles_before = session.cycles_simulated
+                hits_before = session.checkpoint_hits
+            detected = oracle.detected_mask(trial, need_after)
+            omitted = detected == need_after
+            if want_ledger:
+                # The faults a *kept* vector secures are exactly those the
+                # trial without it missed; an omitted vector secures none.
+                missing = need_after & ~detected
+                ledger.record(
+                    "omission.decision", origin=origins[index],
+                    omitted=omitted, pass_no=pass_no,
+                    faults=oracle.faults_of(missing),
+                    cycles=session.cycles_simulated - cycles_before,
+                    checkpoint_hits=session.checkpoint_hits - hits_before,
+                )
+                obs.event("compaction.omission.decision",
+                          origin=origins[index], omitted=omitted,
+                          pass_no=pass_no)
+            if omitted:
                 obs.incr("compaction.omission.successes")
                 del vectors[index]
+                del origins[index]
                 omitted_this_pass += 1
 
         omitted_total += omitted_this_pass
@@ -119,6 +149,15 @@ def omission_compact(
 
     compacted = TestSequence(sequence.inputs, vectors, scan_sel=sequence.scan_sel)
     final_mask = oracle.detected_mask(vectors)
+    if ledger.enabled():
+        ledger.record(
+            "omission.result", kept=list(origins),
+            omitted=omitted_total,
+            required=oracle.faults_of(final_mask & required_mask),
+            extra=oracle.faults_of(final_mask & ~required_mask),
+        )
+        obs.event("compaction.omission.result", kept=list(origins),
+                  omitted=omitted_total)
     return OmissionResult(
         sequence=compacted,
         omitted_count=omitted_total,

@@ -26,6 +26,7 @@ from typing import Dict, List, Optional, Sequence
 
 from ..circuit.netlist import Circuit
 from ..obs import context as obs
+from ..obs import ledger
 from ..testseq.sequences import TestSequence
 from ..faults.model import Fault
 from .base import CompactionOracle
@@ -64,11 +65,14 @@ def restoration_compact(
     restored: List[int] = []  # kept original indices, ascending
     restored_set = set()
 
+    want_ledger = ledger.enabled()
     while pending:
         fault = pending[0]
         obs.incr("compaction.restoration.targets")
         t_f = detection[fault]
+        ledger.record("restoration.target", fault=fault, t=t_f)
         fault_mask = oracle.mask_of([fault])
+        cycles_before = oracle.session.cycles_simulated
         span = 1
         while True:
             obs.incr("compaction.restoration.attempts")
@@ -80,6 +84,9 @@ def restoration_compact(
                     added = True
             if added:
                 restored = sorted(restored_set)
+            if want_ledger:
+                ledger.record("restoration.attempt", fault=fault,
+                              low=low, t=t_f, kept=len(restored))
             subsequence = [vectors[i] for i in restored]
             if oracle.detects_all(subsequence, fault_mask):
                 break
@@ -97,6 +104,13 @@ def restoration_compact(
         subsequence = [vectors[i] for i in restored]
         pending_mask = oracle.mask_of(pending)
         detected_mask = oracle.detected_mask(subsequence, pending_mask)
+        if want_ledger:
+            ledger.record(
+                "restoration.secured",
+                faults=oracle.faults_of(detected_mask),
+                via=str(fault), kept=len(restored),
+                cycles=oracle.session.cycles_simulated - cycles_before,
+            )
         oracle.drop(detected_mask)
         pending = [
             f for f in pending
@@ -109,6 +123,10 @@ def restoration_compact(
     compacted = sequence.subsequence(restored)
     oracle.restore_dropped()
     final_mask = oracle.detected_mask(list(compacted.vectors))
+    if ledger.enabled():
+        ledger.record("restoration.result", kept=list(restored),
+                      original=len(vectors),
+                      detected=len(oracle.faults_of(final_mask)))
     return RestorationResult(
         sequence=compacted,
         kept_indices=restored,

@@ -28,6 +28,7 @@ from ..compaction.restoration import RestorationResult, restoration_compact
 from ..faults.collapse import collapse_faults
 from ..faults.model import Fault
 from ..obs import context as obs
+from ..obs import ledger
 from .config import (
     GENERATION_LEGACY,
     TRANSLATION_LEGACY,
@@ -161,6 +162,15 @@ def generation_flow(
             _compact_into(
                 result, scan_circuit.circuit, atpg.sequence, faults, cfg
             )
+        if ledger.enabled():
+            ledger.record(
+                "flow.summary", flow="generation",
+                detected=result.detected_total, total=len(faults),
+                coverage=result.fault_coverage,
+                raw_len=len(result.raw.vectors),
+                final_len=len(result.omitted.sequence.vectors)
+                if result.omitted else len(result.raw.vectors),
+            )
     result.elapsed_seconds = root.duration
     return result
 
@@ -260,12 +270,29 @@ def _compact_into(
         checkpoint_interval=cfg.checkpoint_interval,
         incremental=cfg.incremental,
     )
+    session = oracle.session
+    cycles_start = session.cycles_simulated
     with obs.span("restoration"):
         restored = restoration_compact(circuit, sequence, faults, oracle=oracle)
+    cycles_restored = session.cycles_simulated
     with obs.span("omission"):
         omitted = omission_compact(
             circuit, restored.sequence, faults, oracle=oracle,
             max_passes=cfg.max_omission_passes,
         )
+    if ledger.enabled():
+        ledger.record(
+            "compaction.phases",
+            restoration_cycles=cycles_restored - cycles_start,
+            omission_cycles=session.cycles_simulated - cycles_restored,
+            raw_len=len(sequence.vectors),
+            restored_len=len(restored.sequence.vectors),
+            final_len=len(omitted.sequence.vectors),
+        )
+        # First-detection time of every fault under the final compacted
+        # sequence — the ground truth explain-vector reconciles against.
+        final_times = oracle.detection_times(list(omitted.sequence.vectors))
+        ledger.record("flow.final_times", times=final_times)
+    oracle.close()
     result.restored = restored
     result.omitted = omitted

@@ -47,6 +47,7 @@ from ..circuit.gates import ONE, X, ZERO
 from ..circuit.scan import ScanCircuit
 from ..faults.collapse import collapse_faults
 from ..faults.model import Fault
+from ..obs import ledger
 from ..sim.fault_sim import PackedFaultSimulator
 from ..testseq.sequences import TestSequence
 
@@ -180,11 +181,17 @@ class ScanAwareATPG:
         """Try the paper's two functional-knowledge completions in order."""
         if trace.flops:
             candidate = self._scan_out_completion(trace, mini)
+            ledger.record("atpg.completion", fault=trace.fault,
+                          completion="scan_out", flops=len(trace.flops),
+                          accepted=candidate is not None)
             if candidate is not None:
                 self._scan_out_hits.append(trace.fault)
                 return candidate
         if self.use_justification:
             candidate = self._justification_completion(trace, mini)
+            ledger.record("atpg.completion", fault=trace.fault,
+                          completion="justify",
+                          accepted=candidate is not None)
             if candidate is not None:
                 self._justify_hits.append(trace.fault)
                 return candidate

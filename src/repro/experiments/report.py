@@ -14,6 +14,8 @@ from pathlib import Path
 from typing import List, Optional
 
 from .. import obs
+from ..core import FlowConfig, generation_flow
+from ..obs import ledger as ledger_mod
 from . import ablations, suite, table5, table6, table7
 
 
@@ -59,9 +61,34 @@ def build_report(profile: Optional[str] = None) -> str:
             with obs.span(f"report.ablation.{label}"):
                 sections.append("```\n" + renderer(collector(profile)) + "\n```")
             sections.append("")
+        with obs.span("report.attribution"):
+            sections.append("```\n" + attribution_section() + "\n```")
+        sections.append("")
 
     sections.append(f"_generated in {watch.duration:.1f}s_")
     return "\n".join(sections) + "\n"
+
+
+def attribution_section(circuit_name: str = "s27") -> str:
+    """Coverage-curve and per-vector attribution of one flow run.
+
+    Re-runs the generation flow on ``circuit_name`` with a fault ledger
+    recording, then renders the cycles-spent / faults-secured breakdown
+    (before/after compaction).  The ledger is installed directly — not
+    via a nested :func:`repro.obs.session` — so a surrounding session
+    keeps collecting metrics and journal events for the run.
+    """
+    fault_ledger = ledger_mod.FaultLedger()
+    previous = ledger_mod.activate(fault_ledger)
+    try:
+        flow = generation_flow(
+            suite.build_circuit(circuit_name),
+            FlowConfig(seed=suite.circuit_seed(circuit_name)),
+        )
+    finally:
+        ledger_mod.deactivate(previous)
+    return (f"## fault-ledger attribution ({circuit_name})\n\n"
+            + obs.render_attribution(fault_ledger, flow))
 
 
 def write_report(path, profile: Optional[str] = None) -> str:

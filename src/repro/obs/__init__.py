@@ -12,7 +12,13 @@ Three cooperating pieces (``docs/OBSERVABILITY.md`` has the full guide):
   breakdowns;
 * an optional **JSONL run journal** (:mod:`~repro.obs.journal`)
   streaming structured events (span boundaries, metric snapshots,
-  coverage deltas) to a file as they happen.
+  coverage deltas) to a file as they happen;
+* an optional **fault-lifecycle ledger** (:mod:`~repro.obs.ledger`)
+  recording the per-fault provenance chain (targeted-by, detected-at,
+  secured-by, keep/omit decisions) behind the ``repro-atpg explain-*``
+  subcommands;
+* **cross-run regression diffing** (:mod:`~repro.obs.diff`) of two
+  ``--metrics-out`` artifacts behind ``repro-atpg diff-metrics``.
 
 Telemetry is **off by default and free when off**: every hook is a
 global load plus an ``is None`` test until a session is opened with
@@ -46,8 +52,24 @@ from .context import (
     stopwatch,
     timed,
 )
+from .diff import (
+    DiffRow,
+    check_thresholds,
+    diff_metrics,
+    flatten_metrics,
+    load_metrics,
+    parse_threshold,
+    render_diff,
+)
 from .journal import SCHEMA as JOURNAL_SCHEMA
 from .journal import RunJournal, read_journal
+from .ledger import (
+    FaultLedger,
+    LedgerEvent,
+    explain_fault,
+    explain_vector,
+    render_attribution,
+)
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry
 from .report import (
     METRICS_SCHEMA,
@@ -58,6 +80,18 @@ from .report import (
 from .spans import SpanLog, SpanRecord
 
 __all__ = [
+    "FaultLedger",
+    "LedgerEvent",
+    "explain_fault",
+    "explain_vector",
+    "render_attribution",
+    "DiffRow",
+    "load_metrics",
+    "flatten_metrics",
+    "diff_metrics",
+    "render_diff",
+    "parse_threshold",
+    "check_thresholds",
     "Telemetry",
     "session",
     "active",

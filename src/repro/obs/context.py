@@ -25,19 +25,23 @@ from contextlib import contextmanager
 from functools import wraps
 from typing import Iterator, Optional, Union
 
+from . import ledger as _ledger
 from .journal import RunJournal
 from .metrics import MetricsRegistry
 from .spans import SpanLog
 
 
 class Telemetry:
-    """One observation session: metrics + spans + optional journal."""
+    """One observation session: metrics + spans + optional journal and
+    per-fault provenance ledger."""
 
     def __init__(self, journal: Optional[RunJournal] = None,
-                 metrics: Optional[MetricsRegistry] = None):
+                 metrics: Optional[MetricsRegistry] = None,
+                 ledger: Optional["_ledger.FaultLedger"] = None):
         self.metrics = metrics or MetricsRegistry()
         self.spans = SpanLog()
         self.journal = journal
+        self.ledger = ledger
 
     # -- metric forwarding ---------------------------------------------------
 
@@ -135,28 +139,37 @@ def enabled() -> bool:
 
 def activate(telemetry: Telemetry) -> Optional[Telemetry]:
     """Install ``telemetry`` as the active session; returns the previous
-    one so callers can restore it (prefer :func:`session`)."""
+    one so callers can restore it (prefer :func:`session`).  The
+    session's fault ledger (or None) shadows any outer one, mirroring
+    the metric/journal semantics."""
     global _active
     previous = _active
     _active = telemetry
+    _ledger.activate(telemetry.ledger if telemetry is not None else None)
     return previous
 
 
 def deactivate(previous: Optional[Telemetry] = None) -> None:
     global _active
     _active = previous
+    _ledger.activate(previous.ledger if previous is not None else None)
 
 
 @contextmanager
 def session(trace: Union[str, None] = None,
-            metrics: Optional[MetricsRegistry] = None) -> Iterator[Telemetry]:
+            metrics: Optional[MetricsRegistry] = None,
+            ledger: bool = False) -> Iterator[Telemetry]:
     """Run a block with telemetry on.
 
     ``trace`` names a JSONL journal file to stream events to; without it
-    only in-memory metrics and spans are collected.
+    only in-memory metrics and spans are collected.  ``ledger`` attaches
+    a :class:`repro.obs.ledger.FaultLedger` recording the per-fault
+    lifecycle (available as ``telemetry.ledger``).
     """
     journal = RunJournal(trace) if trace else None
-    telemetry = Telemetry(journal=journal, metrics=metrics)
+    fault_ledger = _ledger.FaultLedger() if ledger else None
+    telemetry = Telemetry(journal=journal, metrics=metrics,
+                          ledger=fault_ledger)
     previous = activate(telemetry)
     try:
         yield telemetry

@@ -72,24 +72,48 @@ class RunJournal:
 
 def read_journal(path: Union[str, Path]) -> List[Dict]:
     """Parse a journal back into event dicts, validating the invariants
-    (schema tag on the first event, gap-free ``seq``, monotonic ``t``)."""
+    (schema tag on the first event, gap-free ``seq``, monotonic ``t``).
+
+    Crash-safe: a truncated *trailing* line — the writer flushes per
+    line, so a killed run can leave at most one partial record at the
+    end — is silently dropped.  A malformed line anywhere else, a
+    missing/foreign schema tag, or a schema *version* this reader does
+    not know all raise ``ValueError`` with a message naming the problem.
+    """
+    lines = Path(path).read_text(encoding="utf-8").splitlines()
+    while lines and not lines[-1].strip():
+        lines.pop()
     events: List[Dict] = []
-    with Path(path).open(encoding="utf-8") as fh:
-        for line in fh:
-            line = line.strip()
-            if line:
-                events.append(json.loads(line))
+    for number, line in enumerate(lines):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            events.append(json.loads(line))
+        except json.JSONDecodeError as exc:
+            if number == len(lines) - 1:
+                break  # truncated trailing line from a crashed writer
+            raise ValueError(
+                f"{path}: corrupt journal line {number + 1}: {exc}")
     if not events:
         return events
     first = events[0]
-    if first["type"] != "journal.open" or \
-            first["data"].get("schema") != SCHEMA:
+    schema = first.get("data", {}).get("schema") \
+        if isinstance(first.get("data"), dict) else None
+    prefix = SCHEMA.rsplit("/", 1)[0] + "/"
+    if first.get("type") != "journal.open" or schema is None or \
+            not str(schema).startswith(prefix):
         raise ValueError(f"{path}: not a {SCHEMA} journal")
+    if schema != SCHEMA:
+        raise ValueError(
+            f"{path}: unsupported journal schema version {schema!r} "
+            f"(this reader understands {SCHEMA!r})")
     previous_t = 0.0
     for index, event in enumerate(events):
-        if event["seq"] != index:
+        if event.get("seq") != index:
             raise ValueError(f"{path}: seq gap at event {index}")
-        if event["t"] < previous_t:
+        t = event.get("t")
+        if t is None or t < previous_t:
             raise ValueError(f"{path}: time went backwards at event {index}")
-        previous_t = event["t"]
+        previous_t = t
     return events

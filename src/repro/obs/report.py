@@ -55,21 +55,37 @@ def write_metrics_json(path: Union[str, Path], telemetry: Telemetry,
     return artifact
 
 
-def render_profile(telemetry: Telemetry, title: Optional[str] = None) -> str:
-    """Human-readable per-phase time/counter breakdown of one session."""
+def render_profile(telemetry: Telemetry, title: Optional[str] = None,
+                   top: Optional[int] = None) -> str:
+    """Human-readable per-phase time/counter breakdown of one session.
+
+    Phases are sorted deterministically — total time descending, then
+    path — so two renderings of equivalent runs diff cleanly; ``top``
+    keeps only the N most expensive phases.
+    """
     aggregated = telemetry.spans.aggregate()
     total = sum(
         entry["total_seconds"]
         for entry in aggregated.values()
         if entry["depth"] == 0
     )
+    ordered = sorted(
+        aggregated.items(),
+        key=lambda item: (-item[1]["total_seconds"], item[0]),
+    )
+    dropped = 0
+    if top is not None and top >= 0 and len(ordered) > top:
+        dropped = len(ordered) - top
+        ordered = ordered[:top]
     span_rows: List[List[object]] = []
-    for path, entry in aggregated.items():
+    for path, entry in ordered:
         leaf = path.rsplit("/", 1)[-1]
         label = "  " * entry["depth"] + leaf
         seconds = entry["total_seconds"]
         share = 100.0 * seconds / total if total else 0.0
         span_rows.append([label, entry["count"], seconds, share])
+    if dropped:
+        span_rows.append([f"... {dropped} more phases", "", "", ""])
     sections = [
         format_table(
             ["phase", "calls", "seconds", "share%"],

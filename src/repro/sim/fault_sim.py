@@ -44,6 +44,7 @@ from ..circuit.gates import ONE, X, ZERO
 from ..circuit.netlist import Circuit
 from ..faults.model import BRANCH, STEM, Fault
 from ..obs import context as obs
+from ..obs import ledger
 from .logic_sim import vector_from_string
 
 # Gate kind codes for the dispatch in the inner loop.
@@ -526,7 +527,34 @@ class PackedFaultSimulator:
         obs.incr("faultsim.cycles", result.num_vectors)
         if result.detection_time:
             obs.incr("faultsim.faults_dropped", len(result.detection_time))
+        if ledger.enabled():
+            ledger.record("faultsim.run", vectors=result.num_vectors,
+                          detected=len(result.detection_time),
+                          packed=len(faults))
         return result
+
+    def detecting_outputs(self, mask: int) -> List[str]:
+        """Primary-output names where the machines in ``mask`` produced
+        a value opposite to the fault-free machine on the *last*
+        :meth:`step` (the observation points of those detections).
+        Valid until the next step/reset; used by the fault ledger."""
+        observed: List[str] = []
+        ones, zeros = self._ones, self._zeros
+        for (idx, name), po_mask in zip(self._po, self._po_masks):
+            o, z = ones[idx], zeros[idx]
+            if po_mask is not None:
+                m1, m0 = po_mask
+                o = (o | m1) & ~m0
+                z = (z | m0) & ~m1
+            if o & 1:
+                hit = z
+            elif z & 1:
+                hit = o
+            else:
+                hit = 0
+            if hit & mask:
+                observed.append(name)
+        return observed
 
     def detects_all(self, vectors: Sequence[Sequence[int]]) -> bool:
         """True when the sequence detects *every* packed fault."""

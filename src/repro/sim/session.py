@@ -44,6 +44,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 from ..circuit.netlist import Circuit
 from ..faults.model import Fault
 from ..obs import context as obs
+from ..obs import ledger
 from .fault_sim import PackedFaultSimulator
 from .logic_sim import vector_from_string
 
@@ -137,6 +138,26 @@ class SimSession:
         self.faults_dropped = 0
         self.repacks = 0
 
+    def close(self) -> Dict[str, int]:
+        """Flush the session's lifetime counters into the telemetry
+        journal (one ``faultsim.session.close`` event) and return them.
+
+        Idempotent in effect — each call reports the counters as they
+        stand; callers normally invoke it once, when the session's
+        owner (e.g. a compaction oracle) is done with it.
+        """
+        counters = {
+            "runs": self.runs,
+            "cycles": self.cycles_simulated,
+            "checkpoint_hits": self.checkpoint_hits,
+            "checkpoint_misses": self.checkpoint_misses,
+            "faults_dropped": self.faults_dropped,
+            "repacks": self.repacks,
+        }
+        obs.event("faultsim.session.close", **counters)
+        ledger.record("session.close", **counters)
+        return counters
+
     # -- mask conversions ------------------------------------------------------
 
     def mask_of(self, faults: Iterable[Fault]) -> int:
@@ -200,6 +221,9 @@ class SimSession:
         dropped = _popcount(mask)
         self.faults_dropped += dropped
         obs.incr("faultsim.session.faults_dropped", dropped)
+        if ledger.enabled():
+            ledger.record("session.drop", faults=self.faults_of(mask),
+                          live=_popcount(self._live_mask))
         live = _popcount(self._live_mask)
         if live * 2 <= len(self._live_positions):
             self._repack()
@@ -231,6 +255,9 @@ class SimSession:
             self._invalidate()
         self.repacks += 1
         obs.incr("faultsim.session.repacks")
+        ledger.record("session.repack",
+                      live=len(self._live_positions),
+                      universe=len(self.faults))
 
     def restore_dropped(self) -> None:
         """Bring every dropped fault back into the session.

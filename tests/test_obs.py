@@ -225,6 +225,91 @@ def test_read_journal_rejects_seq_gap(tmp_path):
         obs.read_journal(path)
 
 
+def test_read_journal_tolerates_truncated_trailing_line(tmp_path):
+    """A killed writer leaves at most one partial record at the end;
+    the reader drops it instead of raising."""
+    path = tmp_path / "run.jsonl"
+    with obs.session(trace=str(path)):
+        obs.event("custom.kind", payload=1)
+        obs.event("custom.kind", payload=2)
+    intact = obs.read_journal(path)
+    text = path.read_text()
+    lines = text.splitlines()
+    path.write_text("\n".join(lines[:-1]) + "\n" + lines[-1][: len(lines[-1]) // 2])
+    events = obs.read_journal(path)
+    assert events == intact[:-1]
+
+
+def test_read_journal_rejects_corrupt_middle_line(tmp_path):
+    path = tmp_path / "run.jsonl"
+    with obs.session(trace=str(path)):
+        obs.event("custom.kind", payload=1)
+    lines = path.read_text().splitlines()
+    lines[1] = lines[1][:5]  # mangle a non-trailing line
+    path.write_text("\n".join(lines) + "\n")
+    with pytest.raises(ValueError, match="corrupt journal line 2"):
+        obs.read_journal(path)
+
+
+def test_read_journal_rejects_future_schema_version(tmp_path):
+    path = tmp_path / "future.jsonl"
+    family = obs.JOURNAL_SCHEMA.rsplit("/", 1)[0]
+    path.write_text(
+        '{"seq": 0, "t": 0.0, "type": "journal.open", '
+        f'"data": {{"schema": "{family}/999"}}}}\n'
+    )
+    with pytest.raises(ValueError, match="unsupported journal schema"):
+        obs.read_journal(path)
+
+
+# -- profile rendering -------------------------------------------------------
+
+
+def test_render_profile_sorts_and_truncates():
+    import time
+
+    with obs.session() as telemetry:
+        with obs.span("fast"):
+            pass
+        with obs.span("slow"):
+            time.sleep(0.02)
+        with obs.span("mid"):
+            time.sleep(0.005)
+    text = obs.render_profile(telemetry)
+    lines = [l for l in text.splitlines() if l and not l.startswith("-")]
+    phases = [l.split()[0] for l in lines[2:5]]
+    assert phases[0] == "slow"  # time-descending
+    assert set(phases) == {"slow", "mid", "fast"}
+
+    topped = obs.render_profile(telemetry, top=1)
+    assert "slow" in topped
+    assert "mid" not in topped.split("counters")[0]
+    assert "... 2 more phases" in topped
+
+
+def test_render_profile_ties_break_by_name():
+    class _FixedSpans:
+        @staticmethod
+        def aggregate():
+            return {
+                "b": {"count": 1, "total_seconds": 1.0, "depth": 0},
+                "a": {"count": 1, "total_seconds": 1.0, "depth": 0},
+                "c": {"count": 1, "total_seconds": 2.0, "depth": 0},
+            }
+
+    telemetry = obs.Telemetry()
+    telemetry.spans = _FixedSpans()
+    lines = obs.render_profile(telemetry).splitlines()
+    phases = [line.split()[0] for line in lines[3:6]]
+    assert phases == ["c", "a", "b"]  # time desc, then name asc
+
+
+def test_profile_cli_top_flag(tmp_path, capsys):
+    assert main(["profile", "s27", "--skip-translation", "--top", "3"]) == 0
+    printed = capsys.readouterr().out
+    assert "more phases" in printed
+
+
 # -- artifact + CLI acceptance path ------------------------------------------
 
 
