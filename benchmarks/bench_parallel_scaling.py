@@ -1,0 +1,141 @@
+"""Parallel fault-sim scaling on the largest quick-profile circuit.
+
+Runs the same whole-sequence fault simulation of ``s386`` (424 collapsed
+faults, the heaviest member of the quick suite) serially and through
+:class:`repro.parallel.ParallelFaultSim` at ``--jobs 2`` and ``4``, and
+asserts the tentpole guarantee: **bit-for-bit identical detection
+results at every job count** — same detection map, same dict order,
+same cycle counts.
+
+The *speedup* assertion (>= 2x at ``--jobs 4``) is gated on the machine
+actually having 4+ usable cores: on smaller runners (or CI shards
+pinned to one CPU) the parallel runs still execute and must still be
+bit-identical, but wall-clock is reported without being asserted.
+
+Run as a script (``python benchmarks/bench_parallel_scaling.py
+--metrics-out BENCH_parallel.json``) it executes the same sweep inside
+a telemetry session and writes the metrics artifact — the committed
+``BENCH_parallel.json`` baseline that CI diffs fresh runs against.
+Deterministic counters (shard counts, per-worker simulated cycles) gate
+tightly; wall-clock spans only catch order-of-magnitude blowups.
+"""
+
+import os
+import random
+import time
+
+from repro.circuit import insert_scan
+from repro.experiments import suite
+from repro.faults import collapse_faults
+from repro.parallel import ParallelFaultSim
+from repro.sim import PackedFaultSimulator
+
+from conftest import emit
+
+CIRCUIT = "s386"
+JOB_COUNTS = (1, 2, 4)
+NUM_VECTORS = 120
+SPEEDUP_FLOOR = 2.0
+SPEEDUP_JOBS = 4
+
+
+def _usable_cores() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def run():
+    from repro.obs import context as obs
+
+    circuit = insert_scan(suite.build_circuit(CIRCUIT)).circuit
+    faults = collapse_faults(circuit)
+    rng = random.Random(386)
+    vectors = [
+        tuple(rng.randint(0, 1) for _ in circuit.inputs)
+        for _ in range(NUM_VECTORS)
+    ]
+    results, seconds = {}, {}
+    with obs.span("bench_parallel"):
+        for jobs in JOB_COUNTS:
+            sim = (PackedFaultSimulator(circuit, faults) if jobs == 1
+                   else ParallelFaultSim(circuit, faults, jobs=jobs))
+            start = time.perf_counter()
+            with obs.span(f"jobs{jobs}"):
+                results[jobs] = sim.run([list(v) for v in vectors])
+            seconds[jobs] = time.perf_counter() - start
+    return faults, results, seconds
+
+
+def check_identical(results):
+    """The tentpole guarantee, asserted at every job count."""
+    serial = results[1]
+    for jobs, result in results.items():
+        assert result.detection_time == serial.detection_time, jobs
+        assert list(result.detection_time) == list(serial.detection_time), \
+            f"dict order diverged at jobs={jobs}"
+        assert result.num_vectors == serial.num_vectors, jobs
+        assert result.faults == serial.faults, jobs
+
+
+def report_lines(faults, results, seconds):
+    serial = seconds[1]
+    cores = _usable_cores()
+    lines = [
+        f"Parallel scaling on {CIRCUIT}: {len(faults)} collapsed faults, "
+        f"{NUM_VECTORS} cycles, {cores} usable core(s)",
+    ]
+    for jobs in JOB_COUNTS:
+        speedup = serial / seconds[jobs] if seconds[jobs] else float("inf")
+        lines.append(
+            f"  jobs={jobs}: {seconds[jobs] * 1000:8.1f} ms   "
+            f"{speedup:4.2f}x   detected "
+            f"{len(results[jobs].detection_time)}/{len(faults)}")
+    if cores >= SPEEDUP_JOBS:
+        speedup = serial / seconds[SPEEDUP_JOBS]
+        assert speedup >= SPEEDUP_FLOOR, (
+            f"jobs={SPEEDUP_JOBS} speedup {speedup:.2f}x below the "
+            f"{SPEEDUP_FLOOR}x floor on a {cores}-core machine")
+        lines.append(f"  speedup floor {SPEEDUP_FLOOR}x at "
+                     f"jobs={SPEEDUP_JOBS}: satisfied")
+    else:
+        lines.append(
+            f"  speedup floor skipped: only {cores} usable core(s) "
+            f"(needs {SPEEDUP_JOBS}); identity still asserted")
+    return lines
+
+
+def bench_parallel_scaling(benchmark, report_dir):
+    faults, results, seconds = benchmark.pedantic(run, rounds=1, iterations=1)
+    check_identical(results)
+    emit(report_dir, "parallel_scaling",
+         "\n".join(report_lines(faults, results, seconds)))
+
+
+def main(argv=None):
+    """Standalone baseline producer for the diff-metrics CI gate."""
+    import argparse
+
+    from repro import obs
+
+    parser = argparse.ArgumentParser(
+        description="run the parallel scaling sweep under telemetry and "
+                    "write the metrics artifact")
+    parser.add_argument("--metrics-out", metavar="FILE", required=True)
+    args = parser.parse_args(argv)
+    with obs.session() as telemetry:
+        faults, results, seconds = run()
+    check_identical(results)
+    print("\n".join(report_lines(faults, results, seconds)))
+    obs.write_metrics_json(args.metrics_out, telemetry,
+                           meta={"bench": "parallel_scaling",
+                                 "circuit": CIRCUIT})
+    print(f"metrics written to {args.metrics_out}")
+    return 0
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.exit(main())

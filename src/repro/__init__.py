@@ -35,7 +35,10 @@ Layering (see DESIGN.md):
 * :mod:`repro.compaction` — vector restoration [23] / omission [22];
 * :mod:`repro.experiments` — the Table 5/6/7 suite and ablations;
 * :mod:`repro.obs` — structured telemetry (metrics registry, timed
-  spans, JSONL run journal), off by default (docs/OBSERVABILITY.md).
+  spans, JSONL run journal), off by default (docs/OBSERVABILITY.md);
+* :mod:`repro.parallel` — fault-sharded multiprocessing execution
+  engine (``FlowConfig(jobs=N)`` / ``--jobs N``), bit-identical to
+  serial at every worker count.
 """
 
 from .circuit import (
@@ -105,6 +108,7 @@ from .compaction import (
     subsequence_removal_compact,
 )
 from .analysis import analyze, compute_testability
+from .parallel import ParallelFaultSim, ResilientPool
 from . import obs
 
 __version__ = "1.0.0"
@@ -135,6 +139,8 @@ __all__ = [
     "dominance_reduce", "TimeFrameATPG", "unroll",
     "analyze", "compute_testability",
     "TransitionFault", "enumerate_transition_faults",
+    # parallel execution
+    "ParallelFaultSim", "ResilientPool",
     # telemetry
     "obs",
     "__version__",

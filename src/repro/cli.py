@@ -2,10 +2,10 @@
 
 Subcommands::
 
-    repro-atpg generate  <circuit> [--seed N] [--no-compact] [--show-sequence]
-    repro-atpg translate <circuit> [--seed N]
+    repro-atpg generate  <circuit> [--seed N] [--jobs N] [--no-compact]
+    repro-atpg translate <circuit> [--seed N] [--jobs N]
     repro-atpg profile   <circuit> [--seed N] [--skip-translation] [--top N]
-    repro-atpg table     {5,6,7}   [--profile quick|default|full]
+    repro-atpg table     {5,6,7}   [--profile quick|default|full] [--jobs N]
     repro-atpg analyze   <circuit> [--hardest N]
     repro-atpg report    [--profile ...] [--out FILE]
     repro-atpg export    <circuit> <out.vcd|out.stil> [--seed N]
@@ -20,7 +20,12 @@ to a ``.bench`` / structural-``.v`` file of a sequential circuit.
 
 The flow-running subcommands (``generate``, ``translate``, ``profile``,
 ``export``) also accept ``--checkpoint-interval K``, which tunes the
-incremental fault-simulation session (see :class:`repro.FlowConfig`).
+incremental fault-simulation session (see :class:`repro.FlowConfig`),
+and ``--jobs N``, which fans the heavy full-universe fault-sim queries
+out across N worker processes (see :mod:`repro.parallel`; results are
+bit-identical at every N).  ``table`` and ``report`` interpret
+``--jobs`` at circuit granularity: whole per-circuit flows run N at a
+time.
 
 Every subcommand also accepts the telemetry flags ``--trace FILE``
 (stream a JSONL run journal, see :mod:`repro.obs.journal`) and
@@ -49,6 +54,7 @@ def _flow_config(args: argparse.Namespace, **overrides) -> FlowConfig:
     return FlowConfig(
         seed=args.seed,
         checkpoint_interval=args.checkpoint_interval,
+        jobs=args.jobs,
         **overrides,
     )
 
@@ -161,14 +167,24 @@ def _cmd_diff_metrics(args: argparse.Namespace) -> int:
 
 
 def _cmd_table(args: argparse.Namespace) -> int:
+    from .experiments import runner
+
+    runner.prefetch(
+        suite_mod.suite_circuits(args.profile), args.jobs,
+        translation=args.number == "7",
+    )
     module = {"5": table5, "6": table6, "7": table7}[args.number]
     module.main(args.profile)
     return 0
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
+    from .experiments import runner
     from .experiments.report import build_report
 
+    runner.prefetch(
+        suite_mod.suite_circuits(args.profile), args.jobs, translation=True,
+    )
     text = build_report(args.profile)
     if args.out:
         Path(args.out).write_text(text)
@@ -248,6 +264,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--checkpoint-interval", type=int, default=4, metavar="K",
         help="cycles between packed-state checkpoints in the "
              "incremental fault-sim session (default 4)")
+    flow_group.add_argument(
+        "--jobs", type=int, default=0, metavar="N",
+        help="worker processes for fault-sharded parallel simulation "
+             "(0 = REPRO_JOBS env or serial; results are identical at "
+             "every N)")
     sub = parser.add_subparsers(dest="command", required=True)
 
     gen = sub.add_parser("generate", parents=[telemetry, flowopts],
@@ -312,6 +333,9 @@ def build_parser() -> argparse.ArgumentParser:
     table.add_argument("number", choices=["5", "6", "7"])
     table.add_argument("--profile", default=None,
                        choices=sorted(suite_mod.PROFILES))
+    table.add_argument("--jobs", type=int, default=0, metavar="N",
+                       help="run the per-circuit flows N circuits at a "
+                            "time (0 = REPRO_JOBS env or serial)")
     table.set_defaults(func=_cmd_table)
 
     rep = sub.add_parser("report", parents=[telemetry],
@@ -319,6 +343,9 @@ def build_parser() -> argparse.ArgumentParser:
                               "render a markdown report")
     rep.add_argument("--profile", default=None,
                      choices=sorted(suite_mod.PROFILES))
+    rep.add_argument("--jobs", type=int, default=0, metavar="N",
+                     help="run the per-circuit flows N circuits at a "
+                          "time (0 = REPRO_JOBS env or serial)")
     rep.add_argument("--out", default=None)
     rep.set_defaults(func=_cmd_report)
 

@@ -16,6 +16,16 @@ contract that makes that safe: every procedure calls
 :meth:`restore_dropped` before its first query *and* before its final
 full-universe accounting, so drops never leak across procedure
 boundaries.
+
+With ``jobs > 1`` the oracle routes its *full-universe*
+:meth:`detection_times` queries — the expensive ones, e.g. the initial
+scoring pass restoration opens with — through the fault-sharded
+:class:`~repro.parallel.ParallelFaultSim`, whose results are
+bit-identical to the serial session's (including dict order).  The
+incremental early-exit queries (:meth:`detected_mask`,
+:meth:`detects_all`) always stay on the session: they win by resuming
+from checkpoints and stopping early, which sharding would forfeit.
+Queries issued while faults are dropped also stay on the session.
 """
 
 from __future__ import annotations
@@ -39,7 +49,8 @@ class CompactionOracle:
     def __init__(self, circuit: Circuit, faults: Sequence[Fault],
                  simulator_factory=PackedFaultSimulator,
                  checkpoint_interval: int = 4,
-                 incremental: bool = True):
+                 incremental: bool = True,
+                 jobs: int = 1):
         self.circuit = circuit
         self.faults = list(faults)
         self._factory = simulator_factory
@@ -52,6 +63,9 @@ class CompactionOracle:
         )
         self._position = {f: i + 1 for i, f in enumerate(self.faults)}
         self._raw_sim = None
+        self.jobs = jobs
+        self._checkpoint_interval = checkpoint_interval
+        self._parallel = None
 
     # -- mask helpers -----------------------------------------------------
 
@@ -74,7 +88,31 @@ class CompactionOracle:
 
     def detection_times(self, vectors: Sequence[Sequence[int]]) -> Dict[Fault, int]:
         """First-detection time of every target fault under ``vectors``."""
+        engine = self._parallel_engine(len(vectors))
+        if engine is not None:
+            return engine.detection_times(vectors)
         return self.session.detection_times(vectors)
+
+    def _parallel_engine(self, num_vectors: int):
+        """The shared :class:`ParallelFaultSim`, when a full-universe
+        query over ``num_vectors`` cycles would actually fan out —
+        ``None`` means: use the serial session.  Custom simulator
+        factories (test doubles, instrumented sims) and dropped-fault
+        states always stay serial."""
+        if self.jobs <= 1 or self._factory is not PackedFaultSimulator:
+            return None
+        if self.session.dropped_mask != 0:
+            return None
+        if self._parallel is None:
+            from ..parallel import ParallelFaultSim
+
+            self._parallel = ParallelFaultSim(
+                self.circuit, self.faults, self.jobs,
+                checkpoint_interval=self._checkpoint_interval,
+            )
+        if self._parallel.effective_jobs(num_vectors) <= 1:
+            return None
+        return self._parallel
 
     def detected_mask(
         self,

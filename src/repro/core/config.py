@@ -59,6 +59,12 @@ class FlowConfig:
     #: Resume compaction queries from checkpoints; ``False`` forces the
     #: cycle-0-restart baseline (for perf comparisons).
     incremental: bool = True
+    #: Worker processes for fault-sharded parallel simulation of the
+    #: heavy full-universe queries (see :mod:`repro.parallel`).  ``0``
+    #: defers to the ``REPRO_JOBS`` environment variable, defaulting to
+    #: serial; ``1`` forces serial.  Results are bit-identical at every
+    #: value.
+    jobs: int = 0
     #: Sequential ATPG engine configuration; ``None`` derives one from
     #: ``seed`` (generation flow only).
     atpg: Optional[SeqATPGConfig] = None
@@ -73,6 +79,8 @@ class FlowConfig:
             raise ValueError("max_omission_passes must be >= 1")
         if self.num_chains < 1:
             raise ValueError("num_chains must be >= 1")
+        if self.jobs < 0:
+            raise ValueError("jobs must be >= 0 (0 = REPRO_JOBS/serial)")
 
     def replace(self, **changes: Any) -> "FlowConfig":
         """A copy with ``changes`` applied (the config is frozen)."""
@@ -81,6 +89,13 @@ class FlowConfig:
     def atpg_config(self) -> SeqATPGConfig:
         """The effective sequential-ATPG configuration."""
         return self.atpg or SeqATPGConfig(seed=self.seed)
+
+    def effective_jobs(self) -> int:
+        """``jobs`` with the ``0 -> REPRO_JOBS -> serial`` rule applied
+        (see :func:`repro.parallel.plan.resolve_jobs`)."""
+        from ..parallel.plan import resolve_jobs
+
+        return resolve_jobs(self.jobs)
 
 
 #: legacy keyword -> FlowConfig field

@@ -269,6 +269,7 @@ def _compact_into(
         faults,
         checkpoint_interval=cfg.checkpoint_interval,
         incremental=cfg.incremental,
+        jobs=cfg.effective_jobs(),
     )
     session = oracle.session
     cycles_start = session.cycles_simulated

@@ -3,11 +3,20 @@
 Tables 5 and 6 consume the *same* generation run, and Tables 6 and 7
 share the conventional baseline; this module runs each flow at most once
 per process so the benchmark files stay cheap and mutually consistent.
+
+:func:`prefetch` adds **circuit-level parallelism** on top: it warms the
+memo caches by running whole per-circuit flows in a
+:class:`~repro.parallel.ResilientPool` of worker processes (one circuit
+per task — the coarsest unit, so results are trivially identical to the
+serial path).  Workers force ``jobs=1`` internally: a flow already
+inside a worker must not open a nested fault-shard pool.  Every task
+callable here is module-level (spawn-safe pickling; the satellite audit
+of this module's task paths holds).
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from ..atpg.scan_seq import SecondApproachATPG, SecondApproachResult
 from ..core import (
@@ -82,3 +91,80 @@ def clear_caches() -> None:
     _GENERATION.clear()
     _BASELINE.clear()
     _TRANSLATION.clear()
+
+
+# -- circuit-level parallel prefetch ------------------------------------------
+
+
+def _init_prefetch_worker() -> None:
+    """Pool initializer: drop any telemetry session inherited across
+    ``fork`` (its journal handle belongs to the parent) and pin the
+    in-worker flows to serial — circuit-level workers must never open
+    nested fault-shard pools."""
+    import os
+
+    from ..parallel.plan import JOBS_ENV
+
+    obs.deactivate(None)
+    os.environ[JOBS_ENV] = "1"
+
+
+def _generation_task(name: str) -> Tuple[str, GenerationFlowResult]:
+    """Pool task: one circuit's generation flow (module-level by
+    requirement — ships to workers by qualified name)."""
+    return name, generation_result(name)
+
+
+def _full_task(
+    name: str,
+) -> Tuple[str, GenerationFlowResult, SecondApproachResult,
+           TranslationFlowResult]:
+    """Pool task: generation + baseline + translation for one circuit."""
+    generation = generation_result(name)
+    translation = translation_result(name)
+    return name, generation, _BASELINE[name], translation
+
+
+def prefetch(names: Iterable[str], jobs: int = 0, *,
+             translation: bool = False) -> List[str]:
+    """Warm the memo caches for ``names``, ``jobs`` circuits at a time.
+
+    With ``jobs`` resolving to 1 (the default) this simply runs the
+    flows serially in-process — same code path as before.  With more,
+    whole circuits fan out across a worker pool and the results land in
+    the caches exactly as a serial warm-up would have left them.
+    ``translation`` also prepares the baseline + Section 3 flow (what
+    Table 7 and the full report consume).  Returns the names actually
+    computed (cached ones are skipped).
+    """
+    from ..parallel import ResilientPool, resolve_jobs
+
+    todo = [
+        name for name in dict.fromkeys(names)
+        if name not in _GENERATION
+        or (translation and name not in _TRANSLATION)
+    ]
+    jobs = resolve_jobs(jobs)
+    if jobs <= 1 or len(todo) <= 1:
+        for name in todo:
+            generation_result(name)
+            if translation:
+                translation_result(name)
+        return todo
+    obs.incr("experiments.prefetch.runs")
+    obs.set_gauge("experiments.prefetch.jobs", jobs)
+    pool = ResilientPool(
+        _full_task if translation else _generation_task,
+        min(jobs, len(todo)),
+        initializer=_init_prefetch_worker,
+        label="experiments.prefetch",
+    )
+    with obs.span("experiments.prefetch"):
+        for item in pool.run(todo):
+            name = item[0]
+            _GENERATION.setdefault(name, item[1])
+            if translation:
+                _BASELINE.setdefault(name, item[2])
+                _TRANSLATION.setdefault(name, item[3])
+            obs.event("experiments.prefetch.circuit", circuit=name)
+    return todo

@@ -61,8 +61,13 @@ from .diff import (
     parse_threshold,
     render_diff,
 )
-from .journal import SCHEMA as JOURNAL_SCHEMA
-from .journal import RunJournal, read_journal
+from .journal import MERGE_SRC, SCHEMA as JOURNAL_SCHEMA
+from .journal import (
+    RunJournal,
+    merge_journals,
+    read_journal,
+    worker_journal_path,
+)
 from .ledger import (
     FaultLedger,
     LedgerEvent,
@@ -114,7 +119,10 @@ __all__ = [
     "SpanRecord",
     "RunJournal",
     "read_journal",
+    "merge_journals",
+    "worker_journal_path",
     "JOURNAL_SCHEMA",
+    "MERGE_SRC",
     "METRICS_SCHEMA",
     "metrics_artifact",
     "render_profile",

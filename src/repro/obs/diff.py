@@ -131,6 +131,17 @@ def render_diff(rows: Sequence[DiffRow], top: Optional[int] = None,
     )
     if top is not None and total > top:
         table += f"\n... {total - top} more changed metrics (--top)"
+    # Key-set churn is reported explicitly (and never truncated by
+    # --top): a silently vanished metric usually means instrumentation
+    # was lost, which a value-threshold gate cannot see.
+    added = sorted(r.name for r in rows if r.old is None)
+    removed = sorted(r.name for r in rows if r.new is None)
+    if added:
+        table += (f"\n{len(added)} metric(s) only in the new artifact: "
+                  + ", ".join(added))
+    if removed:
+        table += (f"\n{len(removed)} metric(s) only in the old artifact: "
+                  + ", ".join(removed))
     return table
 
 

@@ -24,6 +24,21 @@ Fixed keys:
 
 The writer flushes after every line so a crashed or killed run leaves a
 readable journal up to its last event — the point of a journal.
+
+Multi-process runs
+------------------
+:class:`RunJournal` assumes a **single writer**: one process, one file,
+one gap-free ``seq``.  Parallel runs therefore never share a journal.
+Instead, each worker process writes its own journal at the path given
+by :func:`worker_journal_path` — the convention is ``<base>.w<pid>``,
+where ``<base>`` is the parent run's journal path — and the parent
+combines them afterwards with :func:`merge_journals`.
+
+Merged streams tag every event with a ``src`` key naming its source
+journal.  :func:`read_journal` accepts such multi-source streams: the
+``seq`` gap-free / ``t`` monotonic invariants are then enforced *per
+source* rather than globally (each source was a well-formed single
+writer; interleaving is the merge layer's doing).
 """
 
 from __future__ import annotations
@@ -31,9 +46,20 @@ from __future__ import annotations
 import json
 import time
 from pathlib import Path
-from typing import Dict, List, Union
+from typing import Dict, List, Optional, Sequence, Union
 
 SCHEMA = "repro.obs.journal/1"
+
+#: ``src`` label of the synthetic open/close wrapper merge_journals adds.
+MERGE_SRC = "merge"
+
+
+def worker_journal_path(base: Union[str, Path], worker: int) -> Path:
+    """The per-process journal path convention: ``<base>.w<worker>``,
+    ``worker`` conventionally the worker's PID (collision-free and
+    meaningful in crash forensics)."""
+    base = Path(base)
+    return base.with_name(f"{base.name}.w{worker}")
 
 
 class RunJournal:
@@ -79,6 +105,11 @@ def read_journal(path: Union[str, Path]) -> List[Dict]:
     end — is silently dropped.  A malformed line anywhere else, a
     missing/foreign schema tag, or a schema *version* this reader does
     not know all raise ``ValueError`` with a message naming the problem.
+
+    Multi-source streams (produced by :func:`merge_journals`) tag events
+    with ``src``; the ``seq``/``t`` invariants are then enforced per
+    source, because each source was an independent single writer and
+    the merge interleaves them.
     """
     lines = Path(path).read_text(encoding="utf-8").splitlines()
     while lines and not lines[-1].strip():
@@ -108,12 +139,92 @@ def read_journal(path: Union[str, Path]) -> List[Dict]:
         raise ValueError(
             f"{path}: unsupported journal schema version {schema!r} "
             f"(this reader understands {SCHEMA!r})")
-    previous_t = 0.0
+    previous_seq: Dict[Optional[str], int] = {}
+    previous_t: Dict[Optional[str], float] = {}
     for index, event in enumerate(events):
-        if event.get("seq") != index:
-            raise ValueError(f"{path}: seq gap at event {index}")
+        src = event.get("src")
+        expected = previous_seq.get(src, -1) + 1
+        if event.get("seq") != expected:
+            where = f"source {src!r}" if src is not None else "journal"
+            raise ValueError(f"{path}: seq gap in {where} at event {index}")
+        previous_seq[src] = expected
         t = event.get("t")
-        if t is None or t < previous_t:
+        if t is None or t < previous_t.get(src, 0.0):
             raise ValueError(f"{path}: time went backwards at event {index}")
-        previous_t = t
+        previous_t[src] = t
     return events
+
+
+def merge_journals(
+    paths: Sequence[Union[str, Path]],
+    out: Optional[Union[str, Path]] = None,
+    sources: Optional[Sequence[str]] = None,
+) -> List[Dict]:
+    """Combine several single-writer journals into one ordered stream.
+
+    Each input is read (and validated) with :func:`read_journal`, its
+    events tagged with a ``src`` label — ``sources[i]`` when given, else
+    the path's distinguishing suffix (``run.jsonl.w123`` -> ``w123``) —
+    and re-timed onto a shared clock: every source's ``journal.open``
+    carries the wall-clock time it opened at, so ``wall_open + t`` is
+    comparable across processes and the merged ``t`` is seconds since
+    the *earliest* open.  Events are ordered by that global time, ties
+    broken by ``(src, seq)`` — fully deterministic.
+
+    The merged stream is wrapped in a synthetic ``journal.open`` /
+    ``journal.close`` pair (``src`` = :data:`MERGE_SRC`) so the result
+    is itself a valid journal; ``out`` optionally writes it as JSONL
+    (readable back with :func:`read_journal`).  Per-source ``seq``
+    values are preserved, which is what the multi-source validation in
+    :func:`read_journal` checks against.
+    """
+    if not paths:
+        raise ValueError("merge_journals needs at least one path")
+    if sources is not None and len(sources) != len(paths):
+        raise ValueError("sources must align with paths")
+    annotated: List[Dict] = []
+    opens: List[float] = []
+    labels: List[str] = []
+    for index, path in enumerate(paths):
+        events = read_journal(path)
+        if not events:
+            raise ValueError(f"{path}: empty journal cannot be merged")
+        if sources is not None:
+            label = sources[index]
+        else:
+            name = Path(path).name
+            label = name.rsplit(".", 1)[-1] if "." in name else name
+        if label in labels or label == MERGE_SRC:
+            label = f"{label}#{index}"
+        labels.append(label)
+        wall_open = events[0].get("data", {}).get("wall_time")
+        if wall_open is None:
+            raise ValueError(f"{path}: journal.open lacks wall_time")
+        opens.append(wall_open)
+        for event in events:
+            tagged = dict(event)
+            tagged["src"] = label
+            tagged["_abs"] = wall_open + event["t"]
+            annotated.append(tagged)
+    t0 = min(opens)
+    annotated.sort(key=lambda e: (e["_abs"], e["src"], e["seq"]))
+    merged: List[Dict] = [{
+        "seq": 0, "t": 0.0, "type": "journal.open", "src": MERGE_SRC,
+        "data": {"schema": SCHEMA, "wall_time": t0,
+                 "sources": labels, "merged": len(paths)},
+    }]
+    last_t = 0.0
+    for event in annotated:
+        event["t"] = round(max(0.0, event.pop("_abs") - t0), 6)
+        last_t = max(last_t, event["t"])
+        merged.append(event)
+    merged.append({
+        "seq": 1, "t": last_t, "type": "journal.close", "src": MERGE_SRC,
+        "data": {"wall_time": t0 + last_t},
+    })
+    if out is not None:
+        with Path(out).open("w", encoding="utf-8") as fh:
+            for event in merged:
+                fh.write(json.dumps(event, separators=(",", ":"),
+                                    sort_keys=True) + "\n")
+    return merged

@@ -1,0 +1,78 @@
+"""Deterministic combination of per-shard results.
+
+The merge invariants (tested property-style in
+``tests/test_parallel.py``):
+
+* the shard results must **partition** the fault universe — every
+  position covered exactly once, else ``ValueError`` (losing or
+  double-counting a fault silently is the one unforgivable parallel
+  bug);
+* the merged :class:`~repro.sim.fault_sim.FaultSimResult` is
+  **bit-for-bit equal** to a serial run for any shard count: machines
+  are simulated independently in the packed planes, so a fault's
+  first-detection cycle does not depend on which shard simulated it.
+  Even the ``detection_time`` dict's *iteration order* is reproduced
+  (ascending ``(cycle, position)``, exactly what a serial run inserts)
+  because downstream consumers — restoration's hardest-first ordering
+  in particular — are sensitive to tie order;
+* ``num_vectors`` is the max over shards: with early stopping each
+  shard stops at its own last detection, whose max is the serial stop
+  cycle.
+
+Counters merge by summation; journals merge in
+:func:`repro.obs.journal.merge_journals`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence
+
+from ..faults.model import Fault
+from ..sim.fault_sim import FaultSimResult
+from .worker import ShardResult
+
+
+def merge_shard_results(
+    faults: Sequence[Fault],
+    shard_results: Iterable[ShardResult],
+) -> FaultSimResult:
+    """Combine shard detection maps into one serial-identical result."""
+    shards = list(shard_results)
+    covered: Dict[int, int] = {}
+    for shard in shards:
+        for position in shard.positions:
+            if position in covered:
+                raise ValueError(
+                    f"fault position {position} simulated by shards "
+                    f"{covered[position]} and {shard.shard_index}")
+            if not 0 <= position < len(faults):
+                raise ValueError(f"fault position {position} out of range")
+            covered[position] = shard.shard_index
+    if len(covered) != len(faults):
+        missing = sorted(set(range(len(faults))) - set(covered))[:8]
+        raise ValueError(
+            f"{len(faults) - len(covered)} fault position(s) never "
+            f"simulated (first missing: {missing})")
+
+    result = FaultSimResult(
+        faults=list(faults),
+        num_vectors=max((s.num_vectors for s in shards), default=0),
+    )
+    detection_time = result.detection_time
+    pairs: List[tuple] = []
+    for shard in shards:
+        pairs.extend(shard.times.items())
+    # Serial insertion order is ascending (cycle, position); reproduce
+    # it so dict-order-sensitive consumers cannot tell the difference.
+    for position, t in sorted(pairs, key=lambda item: (item[1], item[0])):
+        detection_time[faults[position]] = t
+    return result
+
+
+def merge_counters(shards: Iterable[ShardResult]) -> Dict[str, int]:
+    """Sum the per-shard session counters (deterministic key order)."""
+    totals: Dict[str, int] = {}
+    for shard in shards:
+        for name, value in shard.counters.items():
+            totals[name] = totals.get(name, 0) + value
+    return {name: totals[name] for name in sorted(totals)}

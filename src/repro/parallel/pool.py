@@ -1,0 +1,224 @@
+"""A process pool that refuses to lose work.
+
+``ResilientPool`` wraps :class:`concurrent.futures.ProcessPoolExecutor`
+with the failure semantics a long ATPG run needs:
+
+* **per-task timeouts** — a hung worker cannot stall the run forever;
+* **bounded retries with backoff** — transient failures (a killed
+  worker, an OOM'd child, a broken pool) requeue the affected payloads
+  up to ``max_retries`` times, sleeping ``backoff * 2**attempt``
+  between rounds;
+* **resplit on requeue** — a failed payload is split via ``split_fn``
+  (for fault shards: round-robin halves) so a poisoned or oversized
+  unit of work shrinks instead of failing identically again;
+* **serial fallback** — payloads that exhaust their retries run
+  in-process via ``serial_fn``; the pool therefore always returns a
+  complete result set (or surfaces the task's real, deterministic
+  exception in the parent, where it is debuggable).
+
+A worker crash breaks the whole ``ProcessPoolExecutor`` (every pending
+future fails with ``BrokenProcessBool``); the pool treats that as "all
+unfinished payloads failed", rebuilds the executor and carries on.
+
+Start method: ``fork`` where the platform offers it (cheap, shares the
+parent's imports), else ``spawn``; everything shipped across the
+boundary is spawn-safe — module-level callables, plain-data payloads —
+so ``REPRO_PARALLEL_START_METHOD=spawn`` is always a valid override.
+
+Results are returned **unordered**; callers that need determinism key
+results by content (the merge layer keys on fault positions), not by
+completion order.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from typing import Any, Callable, List, Optional, Sequence
+
+from ..obs import context as obs
+
+START_METHOD_ENV = "REPRO_PARALLEL_START_METHOD"
+
+
+def default_start_method() -> str:
+    """``REPRO_PARALLEL_START_METHOD`` if set, else ``fork`` where
+    available (Linux), else ``spawn``."""
+    env = os.environ.get(START_METHOD_ENV, "").strip()
+    if env:
+        return env
+    methods = multiprocessing.get_all_start_methods()
+    return "fork" if "fork" in methods else "spawn"
+
+
+class ResilientPool:
+    """Run payloads through a worker pool, guaranteeing completion.
+
+    Parameters
+    ----------
+    task_fn:
+        Module-level callable executed in workers, ``task_fn(payload)``.
+    jobs:
+        Maximum concurrent worker processes.
+    initializer / initargs:
+        Forwarded to every (re)built executor.
+    timeout:
+        Hang detector: when no task completes for this many seconds,
+        every in-flight payload is declared hung, the executor is
+        rebuilt and the payloads are requeued; ``None`` disables.
+    max_retries:
+        Pool attempts per payload beyond the first, before the serial
+        fallback takes over.
+    backoff:
+        Base sleep between retry rounds (exponential per attempt).
+    split_fn:
+        ``split_fn(payload) -> [payloads]`` used on requeue; return
+        ``[payload]`` (or ``None``) for atomic payloads.
+    serial_fn:
+        In-process fallback, ``serial_fn(payload)``; defaults to
+        ``task_fn`` (correct only when the task needs no worker
+        initialization — pass an explicit fallback otherwise).
+    """
+
+    def __init__(
+        self,
+        task_fn: Callable[[Any], Any],
+        jobs: int,
+        *,
+        initializer: Optional[Callable] = None,
+        initargs: tuple = (),
+        timeout: Optional[float] = None,
+        max_retries: int = 2,
+        backoff: float = 0.05,
+        start_method: Optional[str] = None,
+        split_fn: Optional[Callable[[Any], Optional[Sequence[Any]]]] = None,
+        serial_fn: Optional[Callable[[Any], Any]] = None,
+        label: str = "parallel.pool",
+    ):
+        if jobs < 1:
+            raise ValueError("jobs must be >= 1")
+        self.task_fn = task_fn
+        self.jobs = jobs
+        self.initializer = initializer
+        self.initargs = initargs
+        self.timeout = timeout
+        self.max_retries = max_retries
+        self.backoff = backoff
+        self.start_method = start_method or default_start_method()
+        self.split_fn = split_fn
+        self.serial_fn = serial_fn or task_fn
+        self.label = label
+
+    # -- executor lifecycle -------------------------------------------------
+
+    def _fresh_executor(self, workers: int) -> ProcessPoolExecutor:
+        context = multiprocessing.get_context(self.start_method)
+        return ProcessPoolExecutor(
+            max_workers=workers,
+            mp_context=context,
+            initializer=self.initializer,
+            initargs=self.initargs,
+        )
+
+    # -- the drain loop --------------------------------------------------------
+
+    def run(self, payloads: Sequence[Any]) -> List[Any]:
+        """Execute every payload; return their results (unordered)."""
+        pending: List[tuple] = [(p, 0) for p in payloads]  # (payload, attempt)
+        results: List[Any] = []
+        if not pending:
+            return results
+        obs.incr(f"{self.label}.runs")
+        executor: Optional[ProcessPoolExecutor] = None
+        try:
+            while pending:
+                batch, pending = pending, []
+                serial, submitted = [], []
+                for payload, attempt in batch:
+                    if attempt > self.max_retries:
+                        serial.append(payload)
+                    else:
+                        submitted.append((payload, attempt))
+                for payload in serial:
+                    obs.incr(f"{self.label}.serial_fallbacks")
+                    obs.event("parallel.serial_fallback", label=self.label)
+                    results.append(self.serial_fn(payload))
+                if not submitted:
+                    continue
+                if executor is None:
+                    executor = self._fresh_executor(
+                        min(self.jobs, len(submitted)))
+                futures = {
+                    executor.submit(self.task_fn, payload): (payload, attempt)
+                    for payload, attempt in submitted
+                }
+                obs.incr(f"{self.label}.tasks", len(futures))
+                deadline = (time.monotonic() + self.timeout
+                            if self.timeout is not None else None)
+                failed: List[tuple] = []
+                broken = False
+                while futures:
+                    remaining = (None if deadline is None
+                                 else max(0.0, deadline - time.monotonic()))
+                    done, _not_done = wait(
+                        futures, timeout=remaining,
+                        return_when=FIRST_COMPLETED)
+                    if not done:
+                        # No completion within `timeout` seconds: declare
+                        # every in-flight payload hung and requeue them.
+                        obs.incr(f"{self.label}.timeouts", len(futures))
+                        failed.extend(futures.values())
+                        broken = True
+                        break
+                    if deadline is not None:
+                        # Progress happened; the hang detector re-arms.
+                        deadline = time.monotonic() + self.timeout
+                    for future in done:
+                        payload, attempt = futures.pop(future)
+                        try:
+                            results.append(future.result())
+                        except BrokenProcessPool:
+                            broken = True
+                            failed.append((payload, attempt))
+                        except Exception:
+                            # A real (deterministic) task error: retrying
+                            # in a pool will not change it.  Route through
+                            # the serial fallback so it either completes
+                            # or raises *in the parent*.
+                            obs.incr(f"{self.label}.task_errors")
+                            failed.append((payload, self.max_retries + 1))
+                    if broken:
+                        failed.extend(futures.values())
+                        futures.clear()
+                if broken and executor is not None:
+                    obs.incr(f"{self.label}.broken_pools")
+                    executor.shutdown(wait=False, cancel_futures=True)
+                    executor = None
+                for payload, attempt in failed:
+                    pending.extend(self._requeue(payload, attempt))
+                if pending and failed:
+                    time.sleep(self.backoff *
+                               (2 ** min(attempt for _p, attempt in failed)))
+        finally:
+            if executor is not None:
+                executor.shutdown(wait=False, cancel_futures=True)
+        return results
+
+    def _requeue(self, payload: Any, attempt: int) -> List[tuple]:
+        """Next round's entries for one failed payload (resplit when the
+        payload supports it)."""
+        next_attempt = attempt + 1
+        if next_attempt > self.max_retries:
+            return [(payload, next_attempt)]  # -> serial fallback
+        pieces = self.split_fn(payload) if self.split_fn else None
+        if not pieces:
+            pieces = [payload]
+        if len(pieces) > 1:
+            obs.incr(f"{self.label}.resplits")
+        obs.incr(f"{self.label}.requeues", len(pieces))
+        obs.event("parallel.requeue", label=self.label,
+                  attempt=next_attempt, pieces=len(pieces))
+        return [(piece, next_attempt) for piece in pieces]

@@ -1,0 +1,167 @@
+"""Worker-process side of the parallel engine.
+
+Everything here is **module-level on purpose**: ``ProcessPoolExecutor``
+ships the initializer and task callables to workers by pickling them by
+qualified name, so closures and lambdas cannot cross the process
+boundary (satellite audit: the task paths in ``sim/fault_sim.py`` and
+``experiments/runner.py`` were checked and hold only module-level
+callables).  The same restriction applies to payloads — they are plain
+dataclasses of circuits, fault lists and tuples.
+
+Lifecycle: the pool initializer (:func:`init_worker`) receives one
+:class:`WorkerContext` carrying the circuit, the full fault universe
+and the vector sequence; each task (:func:`simulate_shard`) then names
+only fault *positions*, builds a fresh
+:class:`~repro.sim.session.SimSession` over its shard — each worker
+owns its own session, never a shared one — and returns a plain-data
+:class:`ShardResult` for the deterministic merge layer.
+
+Per-worker telemetry: when the parent session streams a journal, each
+worker process opens its own journal at
+``worker_journal_path(base, pid)`` (see :mod:`repro.obs.journal` for
+the ``<base>.w<pid>`` convention) and the parent merges them with
+``merge_journals`` after the pool drains.
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+from dataclasses import dataclass, field
+from time import perf_counter
+from typing import Dict, List, Optional, Tuple
+
+from ..circuit.netlist import Circuit
+from ..faults.model import Fault
+from ..obs import context as obs
+from ..obs.journal import RunJournal, worker_journal_path
+from ..sim.session import SimSession
+
+#: Environment hook for the crash-injection tests: when set to a path,
+#: the first shard simulated after the marker file could be created
+#: kills its worker process hard (``os._exit``), exactly once across
+#: the pool — exercising the requeue/resplit recovery path end to end.
+CRASH_ONCE_ENV = "REPRO_PARALLEL_CRASH_ONCE"
+
+
+@dataclass(frozen=True)
+class WorkerContext:
+    """Initializer payload shared by every task a worker runs."""
+
+    circuit: Circuit
+    faults: Tuple[Fault, ...]
+    vectors: Tuple[Tuple[int, ...], ...]
+    checkpoint_interval: int = 4
+    #: Parent journal path (or None); workers derive their own journal
+    #: path from it per the ``<base>.w<pid>`` convention.
+    trace_base: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class ShardTask:
+    """One unit of work: which positions to simulate, and how."""
+
+    shard_index: int
+    positions: Tuple[int, ...]
+    stop_when_all_detected: bool = False
+
+
+@dataclass
+class ShardResult:
+    """Plain-data outcome of one shard simulation (merge-layer input)."""
+
+    shard_index: int
+    positions: Tuple[int, ...]
+    #: position -> first-detection cycle (global positions).
+    times: Dict[int, int] = field(default_factory=dict)
+    num_vectors: int = 0
+    #: SimSession lifetime counters (runs/cycles/...), for telemetry.
+    counters: Dict[str, int] = field(default_factory=dict)
+    pid: int = 0
+    elapsed_seconds: float = 0.0
+    journal_path: Optional[str] = None
+
+
+_CONTEXT: Optional[WorkerContext] = None
+_JOURNAL: Optional[RunJournal] = None
+
+
+def init_worker(context: WorkerContext) -> None:
+    """Pool initializer: stash the shared context; open the per-process
+    journal when the parent is tracing."""
+    global _CONTEXT, _JOURNAL
+    # Under the fork start method the child inherits the parent's active
+    # telemetry session — including its open journal file handle.  Any
+    # worker-side obs hook writing through it would interleave foreign
+    # seq numbers into the parent's journal, so drop it first: workers
+    # report only via their own journal / the plain ShardResult.
+    obs.deactivate(None)
+    _CONTEXT = context
+    if context.trace_base and _JOURNAL is None:
+        _JOURNAL = RunJournal(
+            worker_journal_path(context.trace_base, os.getpid()))
+        _JOURNAL.emit("parallel.worker.start", pid=os.getpid())
+        atexit.register(_JOURNAL.close)
+
+
+def _maybe_crash_for_tests() -> None:
+    """Die hard exactly once per marker path (test hook, dormant unless
+    the env var is set; see :data:`CRASH_ONCE_ENV`)."""
+    marker = os.environ.get(CRASH_ONCE_ENV)
+    if not marker:
+        return
+    try:
+        fd = os.open(marker, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+    except FileExistsError:
+        return
+    os.close(fd)
+    os._exit(17)
+
+
+def simulate_shard(task: ShardTask) -> ShardResult:
+    """Simulate the shard against the context's vectors (pool task)."""
+    if _CONTEXT is None:
+        raise RuntimeError("worker not initialized (init_worker not run)")
+    _maybe_crash_for_tests()
+    return run_shard(_CONTEXT, task, journal=_JOURNAL)
+
+
+def run_shard(
+    context: WorkerContext,
+    task: ShardTask,
+    journal: Optional[RunJournal] = None,
+) -> ShardResult:
+    """The actual shard simulation; also the pool's in-process serial
+    fallback (no module state needed)."""
+    start = perf_counter()
+    faults = [context.faults[p] for p in task.positions]
+    session = SimSession(
+        context.circuit, faults,
+        checkpoint_interval=context.checkpoint_interval,
+    )
+    sim_result = session.run(
+        list(context.vectors),
+        stop_when_all_detected=task.stop_when_all_detected,
+    )
+    counters = session.close()
+    by_fault = {f: p for f, p in zip(faults, task.positions)}
+    result = ShardResult(
+        shard_index=task.shard_index,
+        positions=task.positions,
+        times={by_fault[f]: t for f, t in sim_result.detection_time.items()},
+        num_vectors=sim_result.num_vectors,
+        counters=counters,
+        pid=os.getpid(),
+        elapsed_seconds=perf_counter() - start,
+        journal_path=str(journal.path) if journal is not None else None,
+    )
+    payload = dict(
+        shard=task.shard_index, faults=len(faults),
+        detected=len(result.times), cycles=counters.get("cycles", 0),
+        elapsed=round(result.elapsed_seconds, 6), pid=result.pid,
+    )
+    if journal is not None:
+        journal.emit("parallel.shard", **payload)
+    else:
+        obs.event("parallel.shard", **payload)
+    return result

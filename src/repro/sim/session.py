@@ -459,6 +459,45 @@ class SimSession:
             f: t for f, t in times.items() if live >> (position[f] + 1) & 1
         }
 
+    def run(
+        self,
+        vectors: Iterable[Sequence[int]],
+        stop_when_all_detected: bool = False,
+        initial_state: Optional[Sequence[int]] = None,
+    ) -> "FaultSimResult":
+        """Simulate a whole sequence and return a
+        :class:`~repro.sim.fault_sim.FaultSimResult` over the live
+        faults — the same contract as
+        :meth:`PackedFaultSimulator.run`, but incremental.
+
+        ``stop_when_all_detected`` ends the run as soon as every live
+        fault has been observed; ``num_vectors`` reports the cycles the
+        *timeline* covers (identical to a fresh packed run).  This is
+        the query surface the fault-sharded workers of
+        :mod:`repro.parallel` use, one session per shard.
+        """
+        from .fault_sim import FaultSimResult
+
+        vecs = self._normalize(vectors)
+        wanted = self._live_mask
+        seen, times, end = self._run(
+            vecs, wanted, stop_when_all_detected, initial_state
+        )
+        live = self._live_mask
+        position = self._position
+        result = FaultSimResult(
+            faults=[f for f in self.faults
+                    if live >> (position[f] + 1) & 1],
+            num_vectors=end,
+        )
+        detection_time = result.detection_time
+        for fault, t in sorted(
+            times.items(), key=lambda item: (item[1], position[item[0]])
+        ):
+            if live >> (position[fault] + 1) & 1:
+                detection_time[fault] = t
+        return result
+
     def scan_test_mask(
         self,
         initial_state: Sequence[int],
