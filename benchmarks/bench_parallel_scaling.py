@@ -65,6 +65,8 @@ def run():
             with obs.span(f"jobs{jobs}"):
                 results[jobs] = sim.run([list(v) for v in vectors])
             seconds[jobs] = time.perf_counter() - start
+            if isinstance(sim, ParallelFaultSim):
+                sim.close()
     return faults, results, seconds
 
 

@@ -108,6 +108,7 @@ from .compaction import (
     subsequence_removal_compact,
 )
 from .analysis import analyze, compute_testability
+from .cache import ResultStore, circuit_fingerprint, resolve_cache_dir
 from .parallel import ParallelFaultSim, ResilientPool
 from . import obs
 
@@ -141,6 +142,8 @@ __all__ = [
     "TransitionFault", "enumerate_transition_faults",
     # parallel execution
     "ParallelFaultSim", "ResilientPool",
+    # result cache
+    "ResultStore", "circuit_fingerprint", "resolve_cache_dir",
     # telemetry
     "obs",
     "__version__",

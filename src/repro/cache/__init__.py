@@ -1,0 +1,53 @@
+"""``repro.cache`` — content-addressed result store with warm restarts.
+
+The package has three layers:
+
+* :mod:`~repro.cache.fingerprint` — canonical identities: a stable
+  netlist hash (:func:`circuit_fingerprint`), scan-chain and config
+  hashes, fault-list and vector-sequence hashes;
+* :mod:`~repro.cache.store` — :class:`ResultStore`, the disk format:
+  versioned envelopes, atomic write-then-rename, corruption-tolerant
+  reads, ``cache.*`` telemetry;
+* :mod:`~repro.cache.stages` — :class:`StageCache`, which maps pipeline
+  artifacts (collapsed universes, ATPG results, detection-time maps,
+  compacted sequences) to store payloads and back, bit-identically.
+
+Enable it with ``FlowConfig(cache_dir=...)``, the ``REPRO_CACHE``
+environment variable, or ``--cache`` on the CLI; inspect it with
+``repro-atpg cache stats`` / ``cache clear``.
+"""
+
+from .fingerprint import (
+    CACHE_SCHEMA,
+    circuit_fingerprint,
+    config_fingerprint,
+    faults_fingerprint,
+    scan_config_fingerprint,
+    vectors_fingerprint,
+)
+from .stages import StageCache, detection_config_fp
+from .store import (
+    CACHE_ENV,
+    DEFAULT_CACHE_DIR,
+    ENVELOPE_SCHEMA,
+    CacheStats,
+    ResultStore,
+    resolve_cache_dir,
+)
+
+__all__ = [
+    "CACHE_ENV",
+    "CACHE_SCHEMA",
+    "DEFAULT_CACHE_DIR",
+    "ENVELOPE_SCHEMA",
+    "CacheStats",
+    "ResultStore",
+    "StageCache",
+    "circuit_fingerprint",
+    "config_fingerprint",
+    "detection_config_fp",
+    "faults_fingerprint",
+    "resolve_cache_dir",
+    "scan_config_fingerprint",
+    "vectors_fingerprint",
+]

@@ -1,0 +1,214 @@
+"""Content-addressed, disk-backed result store.
+
+Layout
+------
+One JSON file per entry::
+
+    <root>/<circuit_fp[:2]>/<circuit_fp>/<stage>-<config_fp[:24]>.json
+
+Each file is a **versioned envelope**::
+
+    {"schema": "repro.cache/1", "stage": ..., "circuit": <circuit_fp>,
+     "config": <config_fp>, "payload": {...}}
+
+The full fingerprints are stored *inside* the envelope and re-verified
+on read, so a hash-prefix collision in the filename, a renamed file or
+a schema revision all surface as a clean **miss** — entries
+self-invalidate rather than decode into the wrong result.
+
+Durability and concurrency
+--------------------------
+Writes go through a temp file in the destination directory followed by
+:func:`os.replace` — readers (including concurrent worker processes of
+a prefetch pool) either see the complete previous entry or the complete
+new one, never a torn write.  Any read failure whatsoever — missing
+file, truncated JSON, garbage bytes, wrong schema, fingerprint mismatch
+— is a miss, never an exception: a damaged cache costs a re-derivation,
+not a run.
+
+Telemetry: every lookup emits ``cache.hit``/``cache.miss`` counters
+(plus per-stage variants) and journal events; writes count
+``cache.stores`` and ``cache.bytes``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+from ..obs import context as obs
+
+#: Envelope schema identifier; bump together with
+#: :data:`~repro.cache.fingerprint.CACHE_SCHEMA` on breaking changes.
+ENVELOPE_SCHEMA = "repro.cache/1"
+
+#: Environment variable naming the cache root; ``FlowConfig.cache_dir``
+#: takes precedence when set.
+CACHE_ENV = "REPRO_CACHE"
+
+#: Root used by ``--cache`` with no explicit directory.
+DEFAULT_CACHE_DIR = ".repro-cache"
+
+
+def resolve_cache_dir(cache_dir: Union[str, Path, None] = None
+                      ) -> Optional[Path]:
+    """The effective cache root: the explicit argument, else the
+    ``REPRO_CACHE`` environment variable, else ``None`` (caching off)."""
+    if cache_dir:
+        return Path(cache_dir)
+    env = os.environ.get(CACHE_ENV, "").strip()
+    if env:
+        return Path(env)
+    return None
+
+
+@dataclass
+class CacheStats:
+    """Summary returned by :meth:`ResultStore.stats`."""
+
+    root: str
+    entries: int = 0
+    total_bytes: int = 0
+    #: entry count per stage name.
+    stages: Dict[str, int] = field(default_factory=dict)
+
+
+class ResultStore:
+    """Content-addressed store of stage results under one root
+    directory.  Safe to share between processes; every method is
+    crash-tolerant (see module docstring)."""
+
+    def __init__(self, root: Union[str, Path]):
+        self.root = Path(root)
+
+    def _entry_path(self, stage: str, circuit_fp: str,
+                    config_fp: str) -> Path:
+        return (self.root / circuit_fp[:2] / circuit_fp /
+                f"{stage}-{config_fp[:24]}.json")
+
+    # -- lookup / persist ----------------------------------------------------
+
+    def get(self, stage: str, circuit_fp: str, config_fp: str):
+        """The stored payload for this address, or ``None`` on any kind
+        of miss (absent, corrupt, stale schema, fingerprint mismatch)."""
+        path = self._entry_path(stage, circuit_fp, config_fp)
+        try:
+            raw = path.read_bytes()
+        except OSError:
+            return self._miss(stage, "absent")
+        try:
+            envelope = json.loads(raw.decode("utf-8"))
+            schema = envelope["schema"]
+            payload = envelope["payload"]
+            stale = (envelope["stage"] != stage
+                     or envelope["circuit"] != circuit_fp
+                     or envelope["config"] != config_fp)
+        except (ValueError, KeyError, TypeError, UnicodeDecodeError):
+            return self._miss(stage, "corrupt")
+        if schema != ENVELOPE_SCHEMA:
+            return self._miss(stage, "schema")
+        if stale:
+            return self._miss(stage, "stale")
+        obs.incr("cache.hit")
+        obs.incr(f"cache.hit.{stage}")
+        obs.event("cache.hit", stage=stage, circuit=circuit_fp[:12],
+                  bytes=len(raw))
+        return payload
+
+    def _miss(self, stage: str, reason: str):
+        obs.incr("cache.miss")
+        obs.incr(f"cache.miss.{stage}")
+        obs.event("cache.miss", stage=stage, reason=reason)
+        return None
+
+    def put(self, stage: str, circuit_fp: str, config_fp: str,
+            payload) -> None:
+        """Persist a payload atomically (write-then-rename).  A write
+        failure (full or read-only disk) is reported as telemetry and
+        swallowed: the cache is an accelerator, never a point of
+        failure."""
+        path = self._entry_path(stage, circuit_fp, config_fp)
+        envelope = {
+            "schema": ENVELOPE_SCHEMA,
+            "stage": stage,
+            "circuit": circuit_fp,
+            "config": config_fp,
+            "payload": payload,
+        }
+        blob = json.dumps(envelope, separators=(",", ":"))
+        tmp = path.with_name(f"{path.name}.tmp.{os.getpid()}")
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            tmp.write_text(blob, encoding="utf-8")
+            os.replace(tmp, path)
+        except OSError:
+            obs.incr("cache.store_errors")
+            obs.event("cache.store_error", stage=stage)
+            try:
+                tmp.unlink()
+            except OSError:
+                pass
+            return
+        obs.incr("cache.stores")
+        obs.incr("cache.bytes", len(blob))
+        obs.event("cache.store", stage=stage, circuit=circuit_fp[:12],
+                  bytes=len(blob))
+
+    # -- maintenance ------------------------------------------------------------
+
+    def _entries(self):
+        """Every entry file in the store's two-level layout."""
+        if not self.root.is_dir():
+            return
+        for shard in sorted(self.root.iterdir()):
+            if not shard.is_dir():
+                continue
+            for bucket in sorted(shard.iterdir()):
+                if not bucket.is_dir():
+                    continue
+                for entry in sorted(bucket.glob("*.json")):
+                    yield entry
+
+    def stats(self) -> CacheStats:
+        """Entry counts and byte totals (per stage and overall)."""
+        stats = CacheStats(root=str(self.root))
+        for entry in self._entries():
+            try:
+                size = entry.stat().st_size
+            except OSError:
+                continue
+            stage = entry.name.rsplit("-", 1)[0]
+            stats.entries += 1
+            stats.total_bytes += size
+            stats.stages[stage] = stats.stages.get(stage, 0) + 1
+        return stats
+
+    def clear(self) -> int:
+        """Delete every entry (and emptied bucket directories); returns
+        the number of entries removed.  Only files matching the store's
+        own layout are touched."""
+        removed = 0
+        for entry in list(self._entries()):
+            try:
+                entry.unlink()
+                removed += 1
+            except OSError:
+                continue
+        if self.root.is_dir():
+            for shard in list(self.root.iterdir()):
+                if not shard.is_dir():
+                    continue
+                for bucket in list(shard.iterdir()):
+                    try:
+                        bucket.rmdir()
+                    except OSError:
+                        pass
+                try:
+                    shard.rmdir()
+                except OSError:
+                    pass
+        obs.incr("cache.clears")
+        return removed

@@ -12,6 +12,7 @@ Subcommands::
     repro-atpg explain-fault  <circuit> <fault> [--seed N]
     repro-atpg explain-vector <circuit> [index] [--seed N]
     repro-atpg diff-metrics <old.json> <new.json> [--threshold PAT=PCT ...]
+    repro-atpg cache     {stats,clear} [dir]
     repro-atpg info      <circuit>
     repro-atpg list
 
@@ -26,6 +27,15 @@ out across N worker processes (see :mod:`repro.parallel`; results are
 bit-identical at every N).  ``table`` and ``report`` interpret
 ``--jobs`` at circuit granularity: whole per-circuit flows run N at a
 time.
+
+``--cache [DIR]`` turns on the content-addressed result store (see
+:mod:`repro.cache`): expensive stage results (fault collapse, per-fault
+ATPG, full-universe detection times, compaction) are persisted under
+DIR and replayed on the next run of the same circuit + config — warm
+runs skip straight to the final numbers, bit-identically.  Bare
+``--cache`` uses ``$REPRO_CACHE`` or ``.repro-cache``.  ``table`` and
+``report`` export the resolved directory to the environment so their
+prefetch workers share the store.
 
 Every subcommand also accepts the telemetry flags ``--trace FILE``
 (stream a JSONL run journal, see :mod:`repro.obs.journal`) and
@@ -49,12 +59,33 @@ from .experiments import suite as suite_mod
 from .experiments import table5, table6, table7
 
 
+def _cache_dir(args: argparse.Namespace) -> Optional[str]:
+    """Resolve the ``--cache [DIR]`` flag to a FlowConfig ``cache_dir``.
+
+    Absent flag -> ``None`` (the ``REPRO_CACHE`` env var may still turn
+    caching on, see :func:`repro.cache.resolve_cache_dir`); bare
+    ``--cache`` -> the env var or the default directory; ``--cache DIR``
+    -> DIR.
+    """
+    import os
+
+    from .cache import CACHE_ENV, DEFAULT_CACHE_DIR
+
+    raw = getattr(args, "cache", None)
+    if raw is None:
+        return None
+    if raw == "":
+        return os.environ.get(CACHE_ENV) or DEFAULT_CACHE_DIR
+    return raw
+
+
 def _flow_config(args: argparse.Namespace, **overrides) -> FlowConfig:
     """Build the FlowConfig shared by the flow-running subcommands."""
     return FlowConfig(
         seed=args.seed,
         checkpoint_interval=args.checkpoint_interval,
         jobs=args.jobs,
+        cache_dir=_cache_dir(args),
         **overrides,
     )
 
@@ -166,9 +197,28 @@ def _cmd_diff_metrics(args: argparse.Namespace) -> int:
     return 0
 
 
+def _export_cache_env(args: argparse.Namespace) -> None:
+    """Make a ``--cache`` request visible to the whole process tree.
+
+    ``table``/``report`` run their per-circuit flows through the
+    experiments runner — possibly in prefetch worker processes — so the
+    resolved cache directory is exported via ``REPRO_CACHE`` rather than
+    threaded through a FlowConfig: the runner builds its own configs,
+    and spawn-started workers re-read the environment.
+    """
+    import os
+
+    from .cache import CACHE_ENV
+
+    resolved = _cache_dir(args)
+    if resolved is not None:
+        os.environ[CACHE_ENV] = str(resolved)
+
+
 def _cmd_table(args: argparse.Namespace) -> int:
     from .experiments import runner
 
+    _export_cache_env(args)
     runner.prefetch(
         suite_mod.suite_circuits(args.profile), args.jobs,
         translation=args.number == "7",
@@ -182,6 +232,7 @@ def _cmd_report(args: argparse.Namespace) -> int:
     from .experiments import runner
     from .experiments.report import build_report
 
+    _export_cache_env(args)
     runner.prefetch(
         suite_mod.suite_circuits(args.profile), args.jobs, translation=True,
     )
@@ -223,6 +274,29 @@ def _cmd_export(args: argparse.Namespace) -> int:
         return 1
     print(f"wrote {len(sequence)} cycles ({sequence.scan_vector_count()} "
           f"scan) for {scan_circuit.name} to {out}")
+    return 0
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    from .cache import ResultStore, resolve_cache_dir
+
+    root = resolve_cache_dir(args.dir if args.dir else None)
+    if root is None:
+        from .cache import DEFAULT_CACHE_DIR
+
+        root = Path(DEFAULT_CACHE_DIR)
+    store = ResultStore(root)
+    if args.action == "clear":
+        removed = store.clear()
+        print(f"cleared {removed} cache entr"
+              f"{'y' if removed == 1 else 'ies'} under {root}")
+        return 0
+    stats = store.stats()
+    print(f"cache root: {stats.root}")
+    print(f" entries: {stats.entries}")
+    print(f"   bytes: {stats.total_bytes}")
+    for stage in sorted(stats.stages):
+        print(f"   {stage:>9}: {stats.stages[stage]}")
     return 0
 
 
@@ -269,6 +343,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes for fault-sharded parallel simulation "
              "(0 = REPRO_JOBS env or serial; results are identical at "
              "every N)")
+    flow_group.add_argument(
+        "--cache", nargs="?", const="", default=None, metavar="DIR",
+        help="persist stage results to the content-addressed store "
+             "under DIR and replay them on warm runs (bare --cache = "
+             "$REPRO_CACHE or .repro-cache)")
     sub = parser.add_subparsers(dest="command", required=True)
 
     gen = sub.add_parser("generate", parents=[telemetry, flowopts],
@@ -336,6 +415,11 @@ def build_parser() -> argparse.ArgumentParser:
     table.add_argument("--jobs", type=int, default=0, metavar="N",
                        help="run the per-circuit flows N circuits at a "
                             "time (0 = REPRO_JOBS env or serial)")
+    table.add_argument("--cache", nargs="?", const="", default=None,
+                       metavar="DIR",
+                       help="share a content-addressed result store "
+                            "across the per-circuit flows (exported to "
+                            "prefetch workers via $REPRO_CACHE)")
     table.set_defaults(func=_cmd_table)
 
     rep = sub.add_parser("report", parents=[telemetry],
@@ -346,6 +430,11 @@ def build_parser() -> argparse.ArgumentParser:
     rep.add_argument("--jobs", type=int, default=0, metavar="N",
                      help="run the per-circuit flows N circuits at a "
                           "time (0 = REPRO_JOBS env or serial)")
+    rep.add_argument("--cache", nargs="?", const="", default=None,
+                     metavar="DIR",
+                     help="share a content-addressed result store "
+                          "across the per-circuit flows (exported to "
+                          "prefetch workers via $REPRO_CACHE)")
     rep.add_argument("--out", default=None)
     rep.set_defaults(func=_cmd_report)
 
@@ -361,6 +450,15 @@ def build_parser() -> argparse.ArgumentParser:
     exp.add_argument("circuit")
     exp.add_argument("output")
     exp.set_defaults(func=_cmd_export)
+
+    cache = sub.add_parser("cache",
+                           help="inspect or clear the content-addressed "
+                                "result store")
+    cache.add_argument("action", choices=["stats", "clear"])
+    cache.add_argument("dir", nargs="?", default=None,
+                       help="store root (default: $REPRO_CACHE or "
+                            ".repro-cache)")
+    cache.set_defaults(func=_cmd_cache)
 
     info = sub.add_parser("info", parents=[telemetry],
                           help="print circuit statistics")

@@ -50,7 +50,8 @@ class CompactionOracle:
                  simulator_factory=PackedFaultSimulator,
                  checkpoint_interval: int = 4,
                  incremental: bool = True,
-                 jobs: int = 1):
+                 jobs: int = 1,
+                 store=None):
         self.circuit = circuit
         self.faults = list(faults)
         self._factory = simulator_factory
@@ -66,6 +67,14 @@ class CompactionOracle:
         self.jobs = jobs
         self._checkpoint_interval = checkpoint_interval
         self._parallel = None
+        # Full-universe detection_times results are memoized in the
+        # content-addressed store when one is attached; custom simulator
+        # factories (test doubles, other fault models) stay uncached —
+        # their results are not keyed by the stuck-at fault identity
+        # alone.
+        self._store = store if simulator_factory is PackedFaultSimulator \
+            else None
+        self._stages = None
 
     # -- mask helpers -----------------------------------------------------
 
@@ -87,11 +96,37 @@ class CompactionOracle:
     # -- whole-sequence queries ---------------------------------------------
 
     def detection_times(self, vectors: Sequence[Sequence[int]]) -> Dict[Fault, int]:
-        """First-detection time of every target fault under ``vectors``."""
+        """First-detection time of every target fault under ``vectors``.
+
+        With a result store attached, full-universe results (no faults
+        dropped) are served from / persisted to the cache — these are
+        the expensive queries warm restarts skip entirely."""
+        stages = self._stage_cache()
+        if stages is not None:
+            times = stages.load_detection(self.faults, vectors)
+            if times is not None:
+                return times
         engine = self._parallel_engine(len(vectors))
         if engine is not None:
-            return engine.detection_times(vectors)
-        return self.session.detection_times(vectors)
+            times = engine.detection_times(vectors)
+        else:
+            times = self.session.detection_times(vectors)
+        if stages is not None:
+            stages.save_detection(self.faults, vectors, times)
+        return times
+
+    def _stage_cache(self):
+        """The bound :class:`~repro.cache.stages.StageCache`, when
+        caching applies right now (store attached *and* the full
+        universe live — dropped-fault queries are procedure-internal
+        and never cached)."""
+        if self._store is None or self.session.dropped_mask != 0:
+            return None
+        if self._stages is None:
+            from ..cache.stages import StageCache
+
+            self._stages = StageCache(self._store, self.circuit)
+        return self._stages
 
     def _parallel_engine(self, num_vectors: int):
         """The shared :class:`ParallelFaultSim`, when a full-universe
@@ -163,8 +198,13 @@ class CompactionOracle:
         self.session.restore_dropped()
 
     def close(self) -> Dict[str, int]:
-        """Flush the underlying session's lifetime counters to the
-        telemetry journal (see :meth:`SimSession.close`)."""
+        """Release everything the oracle lazily built: shut down and
+        join the parallel engine's worker pool (when one was spun up)
+        and flush the underlying session's lifetime counters to the
+        telemetry journal (see :meth:`SimSession.close`).  Idempotent."""
+        if self._parallel is not None:
+            self._parallel.close()
+            self._parallel = None
         return self.session.close()
 
     # -- legacy checkpoints --------------------------------------------------

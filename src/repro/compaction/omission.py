@@ -77,77 +77,89 @@ def omission_compact(
     session = oracle.session
 
     omitted_total = 0
-    for pass_no in range(max_passes):
-        obs.incr("compaction.omission.passes")
-        omitted_this_pass = 0
+    try:
+        for pass_no in range(max_passes):
+            obs.incr("compaction.omission.passes")
+            omitted_this_pass = 0
 
-        # Pass-start detection times define the required set and, for
-        # every position t, the faults the immutable prefix [0, t)
-        # already detects (exactly those with first detection < t).
-        times = oracle.detection_times(vectors)
-        required_mask = oracle.mask_of(times)
-        # Everything else in the universe is never required: drop it
-        # from the packed planes for the whole sweep.
-        oracle.drop(oracle.all_mask & ~required_mask)
+            # Pass-start detection times define the required set and, for
+            # every position t, the faults the immutable prefix [0, t)
+            # already detects (exactly those with first detection < t).
+            times = oracle.detection_times(vectors)
+            required_mask = oracle.mask_of(times)
+            # Everything else in the universe is never required: drop it
+            # from the packed planes for the whole sweep.
+            oracle.drop(oracle.all_mask & ~required_mask)
 
-        # The vectors beyond the last required detection contribute
-        # nothing that must be preserved: drop the tail outright.
-        last = max(times.values()) if times else -1
-        if last + 1 < len(vectors):
-            omitted_this_pass += len(vectors) - (last + 1)
-            if want_ledger:
-                ledger.record("omission.tail", origins=origins[last + 1:],
+            # The vectors beyond the last required detection contribute
+            # nothing that must be preserved: drop the tail outright.
+            last = max(times.values()) if times else -1
+            if last + 1 < len(vectors):
+                omitted_this_pass += len(vectors) - (last + 1)
+                if want_ledger:
+                    ledger.record("omission.tail", origins=origins[last + 1:],
+                                  pass_no=pass_no)
+                del vectors[last + 1:]
+                del origins[last + 1:]
+
+            # Faults ordered by detection time, as (time, mask) pairs; a
+            # pointer sweeps them into the needed set as the index falls.
+            by_time = sorted(
+                (t, oracle.mask_of([f])) for f, t in times.items()
+            )
+            need_after = 0
+            cursor = len(by_time)
+            for index in range(len(vectors) - 1, -1, -1):
+                while cursor and by_time[cursor - 1][0] >= index:
+                    cursor -= 1
+                    need_after |= by_time[cursor][1]
+                obs.incr("compaction.omission.attempts")
+                trial = vectors[:index] + vectors[index + 1:]
+                if want_ledger:
+                    cycles_before = session.cycles_simulated
+                    hits_before = session.checkpoint_hits
+                detected = oracle.detected_mask(trial, need_after)
+                omitted = detected == need_after
+                if want_ledger:
+                    # The faults a *kept* vector secures are exactly those
+                    # the trial without it missed; an omitted vector
+                    # secures none.
+                    missing = need_after & ~detected
+                    ledger.record(
+                        "omission.decision", origin=origins[index],
+                        omitted=omitted, pass_no=pass_no,
+                        faults=oracle.faults_of(missing),
+                        cycles=session.cycles_simulated - cycles_before,
+                        checkpoint_hits=session.checkpoint_hits - hits_before,
+                    )
+                    obs.event("compaction.omission.decision",
+                              origin=origins[index], omitted=omitted,
                               pass_no=pass_no)
-            del vectors[last + 1:]
-            del origins[last + 1:]
+                if omitted:
+                    obs.incr("compaction.omission.successes")
+                    del vectors[index]
+                    del origins[index]
+                    omitted_this_pass += 1
 
-        # Faults ordered by detection time, as (time, mask) pairs; a
-        # pointer sweeps them into the needed set as the index falls.
-        by_time = sorted(
-            (t, oracle.mask_of([f])) for f, t in times.items()
-        )
-        need_after = 0
-        cursor = len(by_time)
-        for index in range(len(vectors) - 1, -1, -1):
-            while cursor and by_time[cursor - 1][0] >= index:
-                cursor -= 1
-                need_after |= by_time[cursor][1]
-            obs.incr("compaction.omission.attempts")
-            trial = vectors[:index] + vectors[index + 1:]
-            if want_ledger:
-                cycles_before = session.cycles_simulated
-                hits_before = session.checkpoint_hits
-            detected = oracle.detected_mask(trial, need_after)
-            omitted = detected == need_after
-            if want_ledger:
-                # The faults a *kept* vector secures are exactly those the
-                # trial without it missed; an omitted vector secures none.
-                missing = need_after & ~detected
-                ledger.record(
-                    "omission.decision", origin=origins[index],
-                    omitted=omitted, pass_no=pass_no,
-                    faults=oracle.faults_of(missing),
-                    cycles=session.cycles_simulated - cycles_before,
-                    checkpoint_hits=session.checkpoint_hits - hits_before,
-                )
-                obs.event("compaction.omission.decision",
-                          origin=origins[index], omitted=omitted,
-                          pass_no=pass_no)
-            if omitted:
-                obs.incr("compaction.omission.successes")
-                del vectors[index]
-                del origins[index]
-                omitted_this_pass += 1
-
-        omitted_total += omitted_this_pass
-        # The next pass re-derives detection times over the shortened
-        # sequence; bring the dropped faults back first.
+            omitted_total += omitted_this_pass
+            # The next pass re-derives detection times over the shortened
+            # sequence; bring the dropped faults back first.
+            oracle.restore_dropped()
+            if omitted_this_pass == 0:
+                break
+    finally:
+        # Every exit from the sweep — fixpoint break, max_passes
+        # exhaustion, or an exception out of a trial query — must hand
+        # the oracle back with the full universe live: the accounting
+        # below is full-universe, and a shared oracle's next procedure
+        # assumes no drops leak across procedure boundaries.
         oracle.restore_dropped()
-        if omitted_this_pass == 0:
-            break
     obs.incr("compaction.omission.omitted_vectors", omitted_total)
 
     compacted = TestSequence(sequence.inputs, vectors, scan_sel=sequence.scan_sel)
+    assert oracle.session.dropped_mask == 0, (
+        "omission accounting requires the full fault universe live"
+    )
     final_mask = oracle.detected_mask(vectors)
     if ledger.enabled():
         ledger.record(

@@ -65,6 +65,12 @@ class FlowConfig:
     #: serial; ``1`` forces serial.  Results are bit-identical at every
     #: value.
     jobs: int = 0
+    #: Root directory of the content-addressed result store (see
+    #: :mod:`repro.cache`).  ``None`` defers to the ``REPRO_CACHE``
+    #: environment variable; empty/unset both means caching off.  Like
+    #: ``jobs``/``checkpoint_interval``, this knob cannot change result
+    #: bits — warm runs are bit-identical to cold ones.
+    cache_dir: Optional[str] = None
     #: Sequential ATPG engine configuration; ``None`` derives one from
     #: ``seed`` (generation flow only).
     atpg: Optional[SeqATPGConfig] = None
@@ -96,6 +102,24 @@ class FlowConfig:
         from ..parallel.plan import resolve_jobs
 
         return resolve_jobs(self.jobs)
+
+    def effective_cache_dir(self):
+        """``cache_dir`` with the ``None -> REPRO_CACHE -> off`` rule
+        applied (see :func:`repro.cache.resolve_cache_dir`); a
+        :class:`pathlib.Path` or ``None``."""
+        from ..cache.store import resolve_cache_dir
+
+        return resolve_cache_dir(self.cache_dir)
+
+    def result_store(self):
+        """A :class:`repro.cache.ResultStore` over the effective cache
+        directory, or ``None`` when caching is off."""
+        root = self.effective_cache_dir()
+        if root is None:
+            return None
+        from ..cache.store import ResultStore
+
+        return ResultStore(root)
 
 
 #: legacy keyword -> FlowConfig field

@@ -20,6 +20,7 @@ from typing import List, Optional
 
 from ..atpg.comb_view import comb_view
 from ..atpg.podem import UNTESTABLE, Podem
+from ..cache.stages import StageCache
 from ..circuit.netlist import Circuit
 from ..circuit.scan import ScanCircuit, insert_scan
 from ..compaction.base import CompactionOracle
@@ -125,19 +126,27 @@ def generation_flow(
     cfg = coerce_flow_config(
         "generation_flow", config, legacy, GENERATION_LEGACY
     )
+    store = _flow_store(cfg)
     with obs.stopwatch("pipeline.generation") as root:
         with obs.span("scan_insert"):
             scan_circuit = insert_scan(circuit, num_chains=cfg.num_chains)
+        stages = StageCache(store, scan_circuit.circuit, scan_circuit)
         with obs.span("collapse"):
-            faults = collapse_faults(scan_circuit.circuit)
+            faults = stages.load_faults()
+            if faults is None:
+                faults = collapse_faults(scan_circuit.circuit)
+                stages.save_faults(faults)
         with obs.span("atpg"):
-            atpg = ScanAwareATPG(
-                scan_circuit,
-                faults,
-                config=cfg.atpg_config(),
-                use_scan_knowledge=cfg.use_scan_knowledge,
-                use_justification=cfg.use_justification,
-            ).generate()
+            atpg = stages.load_generation_atpg(cfg, faults)
+            if atpg is None:
+                atpg = ScanAwareATPG(
+                    scan_circuit,
+                    faults,
+                    config=cfg.atpg_config(),
+                    use_scan_knowledge=cfg.use_scan_knowledge,
+                    use_justification=cfg.use_justification,
+                ).generate()
+                stages.save_generation_atpg(cfg, faults, atpg)
         result = GenerationFlowResult(
             circuit=circuit,
             scan_circuit=scan_circuit,
@@ -148,19 +157,25 @@ def generation_flow(
         obs.coverage("pipeline.atpg", result.detected_total, len(faults))
         if cfg.classify_redundant and atpg.base.aborted:
             with obs.span("redundancy"):
-                podem = Podem(
-                    comb_view(scan_circuit.circuit).circuit,
-                    backtrack_limit=cfg.redundancy_backtrack_limit,
-                )
-                for fault in atpg.base.aborted:
-                    if fault.consumer is not None and \
-                            fault.consumer in scan_circuit.circuit.flop_by_q:
-                        continue
-                    if podem.run(fault).status == UNTESTABLE:
-                        result.untestable.append(fault)
+                untestable = stages.load_redundancy(cfg, atpg.base.aborted)
+                if untestable is None:
+                    untestable = []
+                    podem = Podem(
+                        comb_view(scan_circuit.circuit).circuit,
+                        backtrack_limit=cfg.redundancy_backtrack_limit,
+                    )
+                    for fault in atpg.base.aborted:
+                        if fault.consumer is not None and \
+                                fault.consumer in scan_circuit.circuit.flop_by_q:
+                            continue
+                        if podem.run(fault).status == UNTESTABLE:
+                            untestable.append(fault)
+                    stages.save_redundancy(cfg, atpg.base.aborted, untestable)
+                result.untestable.extend(untestable)
         if cfg.compact:
             _compact_into(
-                result, scan_circuit.circuit, atpg.sequence, faults, cfg
+                result, scan_circuit.circuit, atpg.sequence, faults, cfg,
+                store=store,
             )
         if ledger.enabled():
             ledger.record(
@@ -225,17 +240,28 @@ def translation_flow(
     cfg = coerce_flow_config(
         "translation_flow", config, legacy, TRANSLATION_LEGACY
     )
+    store = _flow_store(cfg)
     with obs.stopwatch("pipeline.translation") as root:
         with obs.span("scan_insert"):
             scan_circuit = insert_scan(circuit, num_chains=cfg.num_chains)
+        stages = StageCache(store, scan_circuit.circuit, scan_circuit)
         with obs.span("collapse"):
-            faults = collapse_faults(scan_circuit.circuit)
+            faults = stages.load_faults()
+            if faults is None:
+                faults = collapse_faults(scan_circuit.circuit)
+                stages.save_faults(faults)
         if baseline is None:
             baseline_config = cfg.baseline or SecondApproachConfig(seed=cfg.seed)
+            # The baseline runs on the *non-scan* circuit: its cache
+            # entries live under that circuit's fingerprint.
+            base_stages = StageCache(store, circuit)
             with obs.span("baseline_atpg"):
-                baseline = SecondApproachATPG(
-                    circuit, config=baseline_config
-                ).generate()
+                baseline = base_stages.load_baseline(baseline_config, circuit)
+                if baseline is None:
+                    baseline = SecondApproachATPG(
+                        circuit, config=baseline_config
+                    ).generate()
+                    base_stages.save_baseline(baseline_config, baseline)
         with obs.span("translate"):
             translated = translate_test_set(scan_circuit, baseline.test_set)
             translated = translated.randomize_x(random.Random(cfg.seed ^ 0x7EA5))
@@ -247,9 +273,19 @@ def translation_flow(
             translated=translated,
         )
         if cfg.compact:
-            _compact_into(result, scan_circuit.circuit, translated, faults, cfg)
+            _compact_into(result, scan_circuit.circuit, translated, faults,
+                          cfg, store=store)
     result.elapsed_seconds = root.duration
     return result
+
+
+def _flow_store(cfg: FlowConfig):
+    """The flow's result store — ``None`` when caching is off *or* the
+    fault ledger is recording: explain-fault/explain-vector need the
+    real engines to run, so ledger sessions always re-derive."""
+    if ledger.enabled():
+        return None
+    return cfg.result_store()
 
 
 def _compact_into(
@@ -258,19 +294,35 @@ def _compact_into(
     sequence: TestSequence,
     faults,
     cfg: Optional[FlowConfig] = None,
+    store=None,
 ) -> None:
     """Shared Section 4 tail: restoration (on the detected set), then
     omission (accounted over the full universe so ``ext det`` shows).
     Both stages share one incremental oracle, so omission reuses the
-    packed-state checkpoints restoration left behind."""
+    packed-state checkpoints restoration left behind.
+
+    With a result store attached the whole tail is memoized: a warm run
+    decodes the restored/omitted sequences and the final detection map
+    without building an oracle (zero simulated cycles); a cold run
+    additionally scores the final compacted sequence so the
+    ``detection`` stage is persisted alongside ``compact``."""
     cfg = cfg or FlowConfig()
-    oracle = CompactionOracle(
-        circuit,
-        faults,
-        checkpoint_interval=cfg.checkpoint_interval,
-        incremental=cfg.incremental,
-        jobs=cfg.effective_jobs(),
-    )
+    stages = StageCache(store, circuit)
+    cached = stages.load_compaction(cfg, faults, sequence)
+    if cached is not None:
+        restored, omitted = cached
+        # The final-sequence detection map rides with the compact
+        # stage; re-derive (and re-persist) it only if that entry was
+        # damaged or cleared independently.
+        final = stages.load_detection(faults, list(omitted.sequence.vectors))
+        if final is None:
+            oracle = _make_oracle(circuit, faults, cfg, store)
+            oracle.detection_times(list(omitted.sequence.vectors))
+            oracle.close()
+        result.restored = restored
+        result.omitted = omitted
+        return
+    oracle = _make_oracle(circuit, faults, cfg, store)
     session = oracle.session
     cycles_start = session.cycles_simulated
     with obs.span("restoration"):
@@ -294,6 +346,23 @@ def _compact_into(
         # sequence — the ground truth explain-vector reconciles against.
         final_times = oracle.detection_times(list(omitted.sequence.vectors))
         ledger.record("flow.final_times", times=final_times)
+    elif store is not None:
+        # Score the final sequence once so warm restarts get the
+        # full-universe map straight from the store; the oracle
+        # persists it as the ``detection`` stage.
+        oracle.detection_times(list(omitted.sequence.vectors))
     oracle.close()
+    stages.save_compaction(cfg, faults, sequence, restored, omitted)
     result.restored = restored
     result.omitted = omitted
+
+
+def _make_oracle(circuit: Circuit, faults, cfg: FlowConfig, store):
+    return CompactionOracle(
+        circuit,
+        faults,
+        checkpoint_interval=cfg.checkpoint_interval,
+        incremental=cfg.incremental,
+        jobs=cfg.effective_jobs(),
+        store=store,
+    )

@@ -159,7 +159,7 @@ def prefetch(names: Iterable[str], jobs: int = 0, *,
         initializer=_init_prefetch_worker,
         label="experiments.prefetch",
     )
-    with obs.span("experiments.prefetch"):
+    with obs.span("experiments.prefetch"), pool:
         for item in pool.run(todo):
             name = item[0]
             _GENERATION.setdefault(name, item[1])

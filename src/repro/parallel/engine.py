@@ -63,9 +63,9 @@ def _split_task(task: ShardTask) -> List[ShardTask]:
         return [task]
     return [
         ShardTask(task.shard_index, task.positions[0::2],
-                  task.stop_when_all_detected),
+                  task.vectors, task.stop_when_all_detected),
         ShardTask(task.shard_index, task.positions[1::2],
-                  task.stop_when_all_detected),
+                  task.vectors, task.stop_when_all_detected),
     ]
 
 
@@ -120,6 +120,15 @@ class ParallelFaultSim:
         self.max_retries = max_retries
         self.start_method = start_method
         self._serial: Optional[PackedFaultSimulator] = None
+        #: The persistent worker pool (built on first parallel run) and
+        #: the trace base it was initialized with — a telemetry change
+        #: forces a rebuild so workers journal to the right place.
+        self._pool: Optional[ResilientPool] = None
+        self._pool_trace_base: Optional[str] = None
+        #: Highest worker-journal ``seq`` already merged, per source:
+        #: persistent workers keep appending to the same journal files,
+        #: so each merge must skip what earlier merges already emitted.
+        self._merged_seq: Dict[str, int] = {}
 
     # -- mode selection ------------------------------------------------------
 
@@ -175,6 +184,52 @@ class ParallelFaultSim:
 
     # -- parallel execution ------------------------------------------------------
 
+    def _pool_for(self, jobs: int, trace_base: Optional[str]
+                  ) -> ResilientPool:
+        """The persistent worker pool, (re)built when first needed or
+        when the telemetry journal the workers mirror has changed."""
+        if self._pool is not None and self._pool_trace_base != trace_base:
+            self._pool.close()
+            self._pool = None
+        if self._pool is None:
+            context = WorkerContext(
+                circuit=_strip_caches(self.circuit),
+                faults=tuple(self.faults),
+                checkpoint_interval=self.checkpoint_interval,
+                trace_base=trace_base,
+            )
+            self._pool = ResilientPool(
+                simulate_shard,
+                jobs,
+                initializer=init_worker,
+                initargs=(context,),
+                timeout=self.timeout,
+                max_retries=self.max_retries,
+                start_method=self.start_method,
+                split_fn=_split_task,
+                serial_fn=_SerialFallback(context),
+                label="parallel.pool",
+                persistent=True,
+            )
+            self._pool_trace_base = trace_base
+        return self._pool
+
+    def close(self) -> None:
+        """Shut down and join the persistent worker pool (idempotent).
+        Owners of long-lived engines — the compaction oracle, flow code
+        — must call this; otherwise worker processes survive until
+        interpreter exit."""
+        if self._pool is not None:
+            self._pool.close()
+            self._pool = None
+            self._pool_trace_base = None
+
+    def __enter__(self) -> "ParallelFaultSim":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
     def _run_parallel(
         self,
         vecs: tuple,
@@ -183,32 +238,15 @@ class ParallelFaultSim:
     ) -> FaultSimResult:
         plan = self.plan(jobs)
         tasks = [
-            ShardTask(shard.index, shard.positions, stop_when_all_detected)
+            ShardTask(shard.index, shard.positions, vecs,
+                      stop_when_all_detected)
             for shard in plan.shards
         ]
         telemetry = obs.active()
         trace_base = None
         if telemetry is not None and telemetry.journal is not None:
             trace_base = str(telemetry.journal.path)
-        context = WorkerContext(
-            circuit=_strip_caches(self.circuit),
-            faults=tuple(self.faults),
-            vectors=vecs,
-            checkpoint_interval=self.checkpoint_interval,
-            trace_base=trace_base,
-        )
-        pool = ResilientPool(
-            simulate_shard,
-            jobs,
-            initializer=init_worker,
-            initargs=(context,),
-            timeout=self.timeout,
-            max_retries=self.max_retries,
-            start_method=self.start_method,
-            split_fn=_split_task,
-            serial_fn=_SerialFallback(context),
-            label="parallel.pool",
-        )
+        pool = self._pool_for(jobs, trace_base)
         with obs.span("parallel.run"):
             shard_results = pool.run(tasks)
         merged = merge_shard_results(self.faults, shard_results)
@@ -237,9 +275,17 @@ class ParallelFaultSim:
             for event in merge_journals(journals):
                 if event["type"].startswith("journal."):
                     continue
+                # Persistent workers append to the same journal file
+                # across runs; skip anything an earlier merge of this
+                # engine already relayed (per-source seq watermark).
+                src, seq = event.get("src"), event.get("seq")
+                if src is not None and seq is not None:
+                    if seq <= self._merged_seq.get(src, -1):
+                        continue
+                    self._merged_seq[src] = seq
                 telemetry.journal.emit(
-                    "parallel.worker.event", src=event.get("src"),
-                    seq=event.get("seq"), inner=event["type"],
+                    "parallel.worker.event", src=src,
+                    seq=seq, inner=event["type"],
                     **event.get("data", {}))
         return merged
 

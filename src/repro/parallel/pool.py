@@ -81,6 +81,14 @@ class ResilientPool:
         In-process fallback, ``serial_fn(payload)``; defaults to
         ``task_fn`` (correct only when the task needs no worker
         initialization — pass an explicit fallback otherwise).
+    persistent:
+        Keep the executor (and its initialized worker processes) alive
+        across :meth:`run` calls instead of tearing it down after each.
+        Callers that issue many runs against the same initializer
+        context (the fault-sharded engine) amortize pool startup this
+        way — and then **own the lifecycle**: they must call
+        :meth:`close` when done, or worker processes linger until
+        interpreter exit.
     """
 
     def __init__(
@@ -97,6 +105,7 @@ class ResilientPool:
         split_fn: Optional[Callable[[Any], Optional[Sequence[Any]]]] = None,
         serial_fn: Optional[Callable[[Any], Any]] = None,
         label: str = "parallel.pool",
+        persistent: bool = False,
     ):
         if jobs < 1:
             raise ValueError("jobs must be >= 1")
@@ -111,6 +120,8 @@ class ResilientPool:
         self.split_fn = split_fn
         self.serial_fn = serial_fn or task_fn
         self.label = label
+        self.persistent = persistent
+        self._executor: Optional[ProcessPoolExecutor] = None
 
     # -- executor lifecycle -------------------------------------------------
 
@@ -123,6 +134,28 @@ class ResilientPool:
             initargs=self.initargs,
         )
 
+    def worker_pids(self) -> List[int]:
+        """PIDs of the live executor's worker processes (empty when no
+        executor is held — e.g. after :meth:`close`)."""
+        if self._executor is None or not self._executor._processes:
+            return []
+        return sorted(self._executor._processes.keys())
+
+    def close(self) -> None:
+        """Shut the held executor down and *join* its workers; safe to
+        call repeatedly and on a pool that never ran.  Persistent pools
+        must be closed explicitly — nothing else reaps their workers
+        before interpreter exit."""
+        executor, self._executor = self._executor, None
+        if executor is not None:
+            executor.shutdown(wait=True, cancel_futures=True)
+
+    def __enter__(self) -> "ResilientPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
     # -- the drain loop --------------------------------------------------------
 
     def run(self, payloads: Sequence[Any]) -> List[Any]:
@@ -132,7 +165,6 @@ class ResilientPool:
         if not pending:
             return results
         obs.incr(f"{self.label}.runs")
-        executor: Optional[ProcessPoolExecutor] = None
         try:
             while pending:
                 batch, pending = pending, []
@@ -148,11 +180,12 @@ class ResilientPool:
                     results.append(self.serial_fn(payload))
                 if not submitted:
                     continue
-                if executor is None:
-                    executor = self._fresh_executor(
+                if self._executor is None:
+                    self._executor = self._fresh_executor(
                         min(self.jobs, len(submitted)))
                 futures = {
-                    executor.submit(self.task_fn, payload): (payload, attempt)
+                    self._executor.submit(self.task_fn, payload):
+                        (payload, attempt)
                     for payload, attempt in submitted
                 }
                 obs.incr(f"{self.label}.tasks", len(futures))
@@ -193,18 +226,19 @@ class ResilientPool:
                     if broken:
                         failed.extend(futures.values())
                         futures.clear()
-                if broken and executor is not None:
+                if broken and self._executor is not None:
                     obs.incr(f"{self.label}.broken_pools")
-                    executor.shutdown(wait=False, cancel_futures=True)
-                    executor = None
+                    self._executor.shutdown(wait=False, cancel_futures=True)
+                    self._executor = None
                 for payload, attempt in failed:
                     pending.extend(self._requeue(payload, attempt))
                 if pending and failed:
                     time.sleep(self.backoff *
                                (2 ** min(attempt for _p, attempt in failed)))
         finally:
-            if executor is not None:
-                executor.shutdown(wait=False, cancel_futures=True)
+            if not self.persistent and self._executor is not None:
+                self._executor.shutdown(wait=False, cancel_futures=True)
+                self._executor = None
         return results
 
     def _requeue(self, payload: Any, attempt: int) -> List[tuple]:

@@ -46,11 +46,17 @@ CRASH_ONCE_ENV = "REPRO_PARALLEL_CRASH_ONCE"
 
 @dataclass(frozen=True)
 class WorkerContext:
-    """Initializer payload shared by every task a worker runs."""
+    """Initializer payload shared by every task a worker runs.
+
+    Only the *query-invariant* state lives here — the circuit and the
+    fault universe.  The vector sequence travels with each
+    :class:`ShardTask` instead, so one persistently initialized pool
+    can serve many different queries (the engine reuses its pool across
+    ``detection_times`` calls and only pays circuit pickling once).
+    """
 
     circuit: Circuit
     faults: Tuple[Fault, ...]
-    vectors: Tuple[Tuple[int, ...], ...]
     checkpoint_interval: int = 4
     #: Parent journal path (or None); workers derive their own journal
     #: path from it per the ``<base>.w<pid>`` convention.
@@ -59,10 +65,12 @@ class WorkerContext:
 
 @dataclass(frozen=True)
 class ShardTask:
-    """One unit of work: which positions to simulate, and how."""
+    """One unit of work: which positions to simulate, against which
+    sequence, and how."""
 
     shard_index: int
     positions: Tuple[int, ...]
+    vectors: Tuple[Tuple[int, ...], ...] = ()
     stop_when_all_detected: bool = False
 
 
@@ -140,7 +148,7 @@ def run_shard(
         checkpoint_interval=context.checkpoint_interval,
     )
     sim_result = session.run(
-        list(context.vectors),
+        list(task.vectors),
         stop_when_all_detected=task.stop_when_all_detected,
     )
     counters = session.close()

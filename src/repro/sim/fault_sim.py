@@ -97,12 +97,25 @@ class CompiledTopology:
 
 
 def compiled_topology(circuit: Circuit) -> CompiledTopology:
-    """The (cached) flat-array compilation of ``circuit``."""
+    """The (cached) flat-array compilation of ``circuit``.
+
+    The cache is keyed on the circuit's content fingerprint: circuits
+    are immutable by convention, but nothing in Python enforces that,
+    and an in-place netlist edit (synth passes, tests) used to keep
+    serving the stale topology.  The fingerprint itself is memoized on
+    tuple identity, so the common (unmutated) path stays O(1).
+    """
+    from ..cache.fingerprint import circuit_fingerprint
+
+    fingerprint = circuit_fingerprint(circuit)
     cached = getattr(circuit, "_packed_topology", None)
-    if cached is None:
-        cached = CompiledTopology(circuit)
-        circuit._packed_topology = cached
-    return cached
+    if cached is not None:
+        cached_fp, topology = cached
+        if cached_fp == fingerprint:
+            return topology
+    topology = CompiledTopology(circuit)
+    circuit._packed_topology = (fingerprint, topology)
+    return topology
 
 
 @dataclass

@@ -141,9 +141,10 @@ def test_parallel_identical_to_serial(name):
     serial = PackedFaultSimulator(circuit, faults).run(
         [list(v) for v in vectors])
     for jobs in (2, 3, 8):
-        par = ParallelFaultSim(
+        with ParallelFaultSim(
             circuit, faults, jobs=jobs, min_parallel_faults=1,
-        ).run(vectors)
+        ) as engine:
+            par = engine.run(vectors)
         assert par.detection_time == serial.detection_time
         assert list(par.detection_time) == list(serial.detection_time)
         assert par.num_vectors == serial.num_vectors
@@ -159,10 +160,11 @@ def test_parallel_identical_with_cost_strategy_and_early_stop():
     costs = costs_from_detection_times(
         {i: t for i, (f, t) in enumerate(serial.detection_time.items())},
         len(faults))
-    par = ParallelFaultSim(
+    with ParallelFaultSim(
         circuit, faults, jobs=3, strategy="cost", costs=costs,
         min_parallel_faults=1,
-    ).run(vectors, stop_when_all_detected=True)
+    ) as engine:
+        par = engine.run(vectors, stop_when_all_detected=True)
     assert par.detection_time == serial.detection_time
     assert list(par.detection_time) == list(serial.detection_time)
     assert par.num_vectors == serial.num_vectors
@@ -184,9 +186,10 @@ def test_crash_injected_worker_is_recovered(monkeypatch, tmp_path):
     circuit = CIRCUITS["par_b"]()
     faults = collapse_faults(circuit)
     vectors = random_vectors(circuit, 20, seed=2)
-    par = ParallelFaultSim(
+    with ParallelFaultSim(
         circuit, faults, jobs=2, min_parallel_faults=1,
-    ).run(vectors)
+    ) as engine:
+        par = engine.run(vectors)
     assert marker.exists(), "the crash hook never fired"
     monkeypatch.delenv(CRASH_ONCE_ENV)
     serial = PackedFaultSimulator(circuit, faults).run(
@@ -348,9 +351,10 @@ def test_parallel_run_merges_worker_journals_into_trace(tmp_path):
     vectors = random_vectors(circuit, 15, seed=1)
     trace = tmp_path / "run.jsonl"
     with obs.session(trace=str(trace)):
-        ParallelFaultSim(
+        with ParallelFaultSim(
             circuit, faults, jobs=2, min_parallel_faults=1,
-        ).run(vectors)
+        ) as engine:
+            engine.run(vectors)
     events = read_journal(trace)
     kinds = {e["type"] for e in events}
     assert "parallel.merge" in kinds
