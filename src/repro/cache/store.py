@@ -33,11 +33,12 @@ Telemetry: every lookup emits ``cache.hit``/``cache.miss`` counters
 
 from __future__ import annotations
 
+import atexit
 import json
 import os
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, Optional, Union
+from typing import Dict, Iterator, List, Optional, Tuple, Union
 
 from ..obs import context as obs
 
@@ -51,6 +52,13 @@ CACHE_ENV = "REPRO_CACHE"
 
 #: Root used by ``--cache`` with no explicit directory.
 DEFAULT_CACHE_DIR = ".repro-cache"
+
+#: Per-stage hit/miss tallies persisted in the store root; feeds the
+#: hit-rate percentages ``repro-atpg cache stats`` reports.
+TALLY_FILE = "hit-tally.json"
+
+#: Pending tally increments buffered before a flush to disk.
+_TALLY_FLUSH_EVERY = 64
 
 
 def resolve_cache_dir(cache_dir: Union[str, Path, None] = None
@@ -74,6 +82,18 @@ class CacheStats:
     total_bytes: int = 0
     #: entry count per stage name.
     stages: Dict[str, int] = field(default_factory=dict)
+    #: lifetime ``[hits, misses]`` per stage (persisted tallies plus
+    #: this process's pending increments).
+    tallies: Dict[str, List[int]] = field(default_factory=dict)
+
+    def hit_rate(self, stage: str) -> Optional[float]:
+        """Hit-rate percentage for a stage (hits / (hits+misses)), or
+        ``None`` when the stage was never looked up."""
+        hits, misses = self.tallies.get(stage, (0, 0))
+        total = hits + misses
+        if total == 0:
+            return None
+        return 100.0 * hits / total
 
 
 class ResultStore:
@@ -83,6 +103,10 @@ class ResultStore:
 
     def __init__(self, root: Union[str, Path]):
         self.root = Path(root)
+        #: stage -> [hits, misses] accumulated since the last flush.
+        self._pending_tally: Dict[str, List[int]] = {}
+        self._pending_count = 0
+        self._atexit_registered = False
 
     def _entry_path(self, stage: str, circuit_fp: str,
                     config_fp: str) -> Path:
@@ -116,13 +140,82 @@ class ResultStore:
         obs.incr(f"cache.hit.{stage}")
         obs.event("cache.hit", stage=stage, circuit=circuit_fp[:12],
                   bytes=len(raw))
+        self._tally(stage, hit=True)
         return payload
 
     def _miss(self, stage: str, reason: str):
         obs.incr("cache.miss")
         obs.incr(f"cache.miss.{stage}")
         obs.event("cache.miss", stage=stage, reason=reason)
+        self._tally(stage, hit=False)
         return None
+
+    # -- hit/miss tallies --------------------------------------------------------
+
+    def _tally(self, stage: str, hit: bool) -> None:
+        """Count one lookup toward the persisted per-stage hit-rate
+        tallies.  Buffered (flushed every :data:`_TALLY_FLUSH_EVERY`
+        lookups and at interpreter exit); like every store write,
+        best-effort."""
+        cell = self._pending_tally.setdefault(stage, [0, 0])
+        cell[0 if hit else 1] += 1
+        self._pending_count += 1
+        if not self._atexit_registered:
+            self._atexit_registered = True
+            atexit.register(self.flush_tallies)
+        if self._pending_count >= _TALLY_FLUSH_EVERY:
+            self.flush_tallies()
+
+    def flush_tallies(self) -> None:
+        """Merge pending hit/miss counts into ``<root>/hit-tally.json``
+        (read-modify-write + atomic rename; concurrent writers may drop
+        each other's increments — the tallies are advisory, last writer
+        wins).  Errors are swallowed: tallies never fail a run."""
+        if not self._pending_count:
+            return
+        pending, self._pending_tally = self._pending_tally, {}
+        self._pending_count = 0
+        path = self.root / TALLY_FILE
+        merged = self._read_tally_file()
+        for stage, (hits, misses) in pending.items():
+            cell = merged.setdefault(stage, [0, 0])
+            cell[0] += hits
+            cell[1] += misses
+        tmp = path.with_name(f"{path.name}.tmp.{os.getpid()}")
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            tmp.write_text(json.dumps(merged, separators=(",", ":"),
+                                      sort_keys=True), encoding="utf-8")
+            os.replace(tmp, path)
+        except OSError:
+            try:
+                tmp.unlink()
+            except OSError:
+                pass
+
+    def _read_tally_file(self) -> Dict[str, List[int]]:
+        try:
+            raw = json.loads((self.root / TALLY_FILE)
+                             .read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return {}
+        tallies: Dict[str, List[int]] = {}
+        if isinstance(raw, dict):
+            for stage, cell in raw.items():
+                if (isinstance(cell, list) and len(cell) == 2
+                        and all(isinstance(n, int) for n in cell)):
+                    tallies[str(stage)] = [cell[0], cell[1]]
+        return tallies
+
+    def tallies(self) -> Dict[str, List[int]]:
+        """Lifetime ``stage -> [hits, misses]``: the persisted file plus
+        this process's unflushed increments."""
+        merged = self._read_tally_file()
+        for stage, (hits, misses) in self._pending_tally.items():
+            cell = merged.setdefault(stage, [0, 0])
+            cell[0] += hits
+            cell[1] += misses
+        return merged
 
     def put(self, stage: str, circuit_fp: str, config_fp: str,
             payload) -> None:
@@ -172,8 +265,28 @@ class ResultStore:
                 for entry in sorted(bucket.glob("*.json")):
                     yield entry
 
+    def entries_for_circuit(self, circuit_fp: str
+                            ) -> Iterator[Tuple[str, Dict]]:
+        """``(stage, payload)`` pairs of every valid entry stored for a
+        circuit fingerprint — the warm-start source the live progress
+        model seeds its phase weights from.  Damaged entries are
+        skipped, never raised."""
+        bucket = self.root / circuit_fp[:2] / circuit_fp
+        if not bucket.is_dir():
+            return
+        for entry in sorted(bucket.glob("*.json")):
+            try:
+                envelope = json.loads(entry.read_text(encoding="utf-8"))
+                if envelope["schema"] != ENVELOPE_SCHEMA or \
+                        envelope["circuit"] != circuit_fp:
+                    continue
+                yield str(envelope["stage"]), envelope["payload"]
+            except (OSError, ValueError, KeyError, TypeError):
+                continue
+
     def stats(self) -> CacheStats:
-        """Entry counts and byte totals (per stage and overall)."""
+        """Entry counts, byte totals and lookup tallies (per stage and
+        overall)."""
         stats = CacheStats(root=str(self.root))
         for entry in self._entries():
             try:
@@ -184,6 +297,7 @@ class ResultStore:
             stats.entries += 1
             stats.total_bytes += size
             stats.stages[stage] = stats.stages.get(stage, 0) + 1
+        stats.tallies = self.tallies()
         return stats
 
     def clear(self) -> int:

@@ -12,6 +12,8 @@ Subcommands::
     repro-atpg explain-fault  <circuit> <fault> [--seed N]
     repro-atpg explain-vector <circuit> [index] [--seed N]
     repro-atpg diff-metrics <old.json> <new.json> [--threshold PAT=PCT ...]
+    repro-atpg watch     <journal> [--once | --interval S] [--top N]
+    repro-atpg export-trace <journal> <out.json>
     repro-atpg cache     {stats,clear} [dir]
     repro-atpg info      <circuit>
     repro-atpg list
@@ -42,6 +44,14 @@ Every subcommand also accepts the telemetry flags ``--trace FILE``
 ``--metrics-out FILE`` (write the metrics/spans JSON artifact after the
 command finishes).  ``profile`` turns telemetry on implicitly and prints
 the per-phase breakdown.
+
+Live monitoring: ``watch`` tails a ``--trace`` journal (and the
+per-worker siblings a ``--jobs N`` run spawns) and renders phase
+progress, per-shard bars, heartbeat freshness and an ETA — live by
+default, single-shot with ``--once``.  ``export-trace`` converts a
+journal into Chrome trace-event / Perfetto JSON.  Both are read-only
+consumers of the journal files; the running process stays the single
+writer.
 """
 
 from __future__ import annotations
@@ -197,6 +207,70 @@ def _cmd_diff_metrics(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_watch(args: argparse.Namespace) -> int:
+    import time as time_mod
+
+    from .obs.live import JournalFollower, ProgressModel, render_watch
+
+    journal = Path(args.journal)
+    model = ProgressModel()
+    follower = JournalFollower(journal)
+    if args.once:
+        if not journal.exists():
+            print(f"watch: {journal}: no journal (yet)")
+            return 0
+        for event in follower.poll():
+            model.ingest(event)
+        print(render_watch(model.snapshot(), top_metrics=args.top))
+        return 0
+    interactive = sys.stdout.isatty()
+    close_grace = max(3.0, 2 * args.interval)
+    last_activity = time_mod.monotonic()
+    try:
+        while True:
+            batch = follower.poll()
+            if batch:
+                last_activity = time_mod.monotonic()
+            for event in batch:
+                model.ingest(event)
+            text = render_watch(model.snapshot(), top_metrics=args.top)
+            if interactive:
+                # Clear + home; plain prints (with a separator) when piped.
+                print("\x1b[2J\x1b[H" + text, flush=True)
+            else:
+                print(text + "\n--", flush=True)
+            if follower.finished:
+                return 0
+            # Base journal closed but a worker never wrote its close
+            # (crashed / killed): don't hang — give stragglers a grace
+            # window after the last appended event, then call it done.
+            if follower.base_closed and \
+                    time_mod.monotonic() - last_activity >= close_grace:
+                return 0
+            time_mod.sleep(args.interval)
+    except KeyboardInterrupt:
+        return 130
+
+
+def _cmd_export_trace(args: argparse.Namespace) -> int:
+    from .obs.trace import load_trace_events, write_chrome_trace
+
+    try:
+        events = load_trace_events(args.journal)
+    except (OSError, ValueError) as exc:
+        print(f"export-trace: {exc}")
+        return 2
+    if not events:
+        print(f"export-trace: {args.journal}: no journal events")
+        return 2
+    trace = write_chrome_trace(args.output, events)
+    print(f"wrote {len(trace['traceEvents'])} trace events "
+          f"({len(trace['otherData']['sources'])} process(es), "
+          f"trace {trace['otherData']['trace_id'][:12] or '?'}) "
+          f"to {args.output}")
+    return 0
+
+
 def _export_cache_env(args: argparse.Namespace) -> None:
     """Make a ``--cache`` request visible to the whole process tree.
 
@@ -297,6 +371,15 @@ def _cmd_cache(args: argparse.Namespace) -> int:
     print(f"   bytes: {stats.total_bytes}")
     for stage in sorted(stats.stages):
         print(f"   {stage:>9}: {stats.stages[stage]}")
+    lookups = sorted(set(stats.tallies))
+    if lookups:
+        print("hit rates (lifetime lookups):")
+        for stage in lookups:
+            hits, misses = stats.tallies[stage]
+            rate = stats.hit_rate(stage)
+            print(f"   {stage:>9}: {rate:5.1f}%  "
+                  f"({hits} hit{'s' if hits != 1 else ''} / "
+                  f"{hits + misses} lookups)")
     return 0
 
 
@@ -406,6 +489,30 @@ def build_parser() -> argparse.ArgumentParser:
     diff.add_argument("--all", action="store_true",
                       help="also list unchanged metrics")
     diff.set_defaults(func=_cmd_diff_metrics)
+
+    watch = sub.add_parser("watch",
+                           help="tail a --trace journal and render live "
+                                "phase/shard progress, heartbeats and ETA")
+    watch.add_argument("journal", help="journal file a run is writing "
+                                       "(its .w<pid> worker siblings are "
+                                       "discovered automatically)")
+    watch.add_argument("--once", action="store_true",
+                       help="render a single snapshot and exit "
+                            "(CI/pipe friendly)")
+    watch.add_argument("--interval", type=float, default=1.0, metavar="S",
+                       help="seconds between refreshes (default 1.0)")
+    watch.add_argument("--top", type=int, default=5, metavar="N",
+                       help="metrics shown in the footer (default 5)")
+    watch.set_defaults(func=_cmd_watch)
+
+    ext = sub.add_parser("export-trace",
+                         help="convert a run journal (plus worker "
+                              "journals) to Chrome trace-event / "
+                              "Perfetto JSON")
+    ext.add_argument("journal", help="journal written by --trace")
+    ext.add_argument("output", help="trace JSON destination "
+                                    "(open in ui.perfetto.dev)")
+    ext.set_defaults(func=_cmd_export_trace)
 
     table = sub.add_parser("table", parents=[telemetry],
                            help="regenerate a paper table")

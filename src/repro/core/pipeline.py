@@ -128,6 +128,9 @@ def generation_flow(
     )
     store = _flow_store(cfg)
     with obs.stopwatch("pipeline.generation") as root:
+        obs.event("progress.plan", flow="generation",
+                  phases=["scan_insert", "collapse", "atpg", "redundancy",
+                          "restoration", "omission"])
         with obs.span("scan_insert"):
             scan_circuit = insert_scan(circuit, num_chains=cfg.num_chains)
         stages = StageCache(store, scan_circuit.circuit, scan_circuit)
@@ -136,6 +139,9 @@ def generation_flow(
             if faults is None:
                 faults = collapse_faults(scan_circuit.circuit)
                 stages.save_faults(faults)
+        obs.event("progress.work", phase="atpg", total=len(faults),
+                  unit="faults")
+        _emit_warm_estimate(stages)
         with obs.span("atpg"):
             atpg = stages.load_generation_atpg(cfg, faults)
             if atpg is None:
@@ -242,6 +248,9 @@ def translation_flow(
     )
     store = _flow_store(cfg)
     with obs.stopwatch("pipeline.translation") as root:
+        obs.event("progress.plan", flow="translation",
+                  phases=["scan_insert", "collapse", "baseline_atpg",
+                          "translate", "restoration", "omission"])
         with obs.span("scan_insert"):
             scan_circuit = insert_scan(circuit, num_chains=cfg.num_chains)
         stages = StageCache(store, scan_circuit.circuit, scan_circuit)
@@ -250,6 +259,9 @@ def translation_flow(
             if faults is None:
                 faults = collapse_faults(scan_circuit.circuit)
                 stages.save_faults(faults)
+        obs.event("progress.work", phase="baseline_atpg",
+                  total=len(faults), unit="faults")
+        _emit_warm_estimate(stages)
         if baseline is None:
             baseline_config = cfg.baseline or SecondApproachConfig(seed=cfg.seed)
             # The baseline runs on the *non-scan* circuit: its cache
@@ -286,6 +298,20 @@ def _flow_store(cfg: FlowConfig):
     if ledger.enabled():
         return None
     return cfg.result_store()
+
+
+def _emit_warm_estimate(stages: StageCache) -> None:
+    """Journal a ``progress.estimate`` event with phase weights derived
+    from the circuit's cached detection entries (warm runs), so live
+    tailers get a calibrated ETA without touching the cache themselves.
+    No-op when telemetry is off, caching is off, or the cache is cold."""
+    if not obs.enabled() or not stages.enabled:
+        return
+    from ..obs.live import phase_weights_from_store
+    weights = phase_weights_from_store(stages.store, stages.circuit_fp)
+    if weights:
+        obs.event("progress.estimate", source="cache",
+                  weights={k: round(v, 3) for k, v in weights.items()})
 
 
 def _compact_into(
@@ -325,9 +351,13 @@ def _compact_into(
     oracle = _make_oracle(circuit, faults, cfg, store)
     session = oracle.session
     cycles_start = session.cycles_simulated
+    obs.event("progress.work", phase="restoration",
+              total=len(sequence.vectors), unit="vectors")
     with obs.span("restoration"):
         restored = restoration_compact(circuit, sequence, faults, oracle=oracle)
     cycles_restored = session.cycles_simulated
+    obs.event("progress.work", phase="omission",
+              total=len(restored.sequence.vectors), unit="vectors")
     with obs.span("omission"):
         omitted = omission_compact(
             circuit, restored.sequence, faults, oracle=oracle,

@@ -18,7 +18,13 @@ Three cooperating pieces (``docs/OBSERVABILITY.md`` has the full guide):
   secured-by, keep/omit decisions) behind the ``repro-atpg explain-*``
   subcommands;
 * **cross-run regression diffing** (:mod:`~repro.obs.diff`) of two
-  ``--metrics-out`` artifacts behind ``repro-atpg diff-metrics``.
+  ``--metrics-out`` artifacts behind ``repro-atpg diff-metrics``;
+* **live monitoring** (:mod:`~repro.obs.live`): journal tailing
+  (:func:`follow_journal`), a progress/ETA model fed by span, heartbeat
+  and ``progress.*`` events, and the renderer behind
+  ``repro-atpg watch``; plus **trace identity and export**
+  (:mod:`~repro.obs.trace`): run-scoped trace ids, span ids, and
+  Chrome/Perfetto trace-event JSON via ``repro-atpg export-trace``.
 
 Telemetry is **off by default and free when off**: every hook is a
 global load plus an ``is None`` test until a session is opened with
@@ -46,6 +52,7 @@ from .context import (
     event,
     incr,
     observe,
+    progress_snapshot,
     session,
     set_gauge,
     span,
@@ -75,6 +82,17 @@ from .ledger import (
     explain_vector,
     render_attribution,
 )
+from .live import (
+    DEFAULT_PHASE_WEIGHTS,
+    JournalFollower,
+    PhaseInfo,
+    ProgressModel,
+    ProgressSnapshot,
+    ShardInfo,
+    follow_journal,
+    phase_weights_from_store,
+    render_watch,
+)
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry
 from .report import (
     METRICS_SCHEMA,
@@ -83,6 +101,14 @@ from .report import (
     write_metrics_json,
 )
 from .spans import SpanLog, SpanRecord
+from .trace import (
+    TRACE_SCHEMA,
+    export_chrome_trace,
+    load_trace_events,
+    new_span_id,
+    new_trace_id,
+    write_chrome_trace,
+)
 
 __all__ = [
     "FaultLedger",
@@ -127,4 +153,20 @@ __all__ = [
     "metrics_artifact",
     "render_profile",
     "write_metrics_json",
+    "progress_snapshot",
+    "DEFAULT_PHASE_WEIGHTS",
+    "JournalFollower",
+    "PhaseInfo",
+    "ProgressModel",
+    "ProgressSnapshot",
+    "ShardInfo",
+    "follow_journal",
+    "phase_weights_from_store",
+    "render_watch",
+    "TRACE_SCHEMA",
+    "export_chrome_trace",
+    "load_trace_events",
+    "new_span_id",
+    "new_trace_id",
+    "write_chrome_trace",
 ]

@@ -23,25 +23,39 @@ from __future__ import annotations
 import time
 from contextlib import contextmanager
 from functools import wraps
-from typing import Iterator, Optional, Union
+from typing import Dict, Iterator, List, Optional, Tuple, Union
 
 from . import ledger as _ledger
 from .journal import RunJournal
 from .metrics import MetricsRegistry
 from .spans import SpanLog
+from .trace import new_trace_id
 
 
 class Telemetry:
     """One observation session: metrics + spans + optional journal and
-    per-fault provenance ledger."""
+    per-fault provenance ledger.
+
+    Every session carries a ``trace_id`` — minted here unless the caller
+    supplies one (worker processes inherit the parent run's id via
+    :class:`repro.parallel.worker.WorkerContext`) — identifying the
+    cross-process trace all of the session's spans belong to.
+    """
 
     def __init__(self, journal: Optional[RunJournal] = None,
                  metrics: Optional[MetricsRegistry] = None,
-                 ledger: Optional["_ledger.FaultLedger"] = None):
+                 ledger: Optional["_ledger.FaultLedger"] = None,
+                 trace_id: Optional[str] = None):
         self.metrics = metrics or MetricsRegistry()
         self.spans = SpanLog()
         self.journal = journal
         self.ledger = ledger
+        self.trace_id = trace_id or (journal.trace_id if journal else None) \
+            or new_trace_id()
+        self._t0 = time.perf_counter()
+        #: ``progress.*`` events, kept in memory even without a journal
+        #: so :func:`progress_snapshot` works for journal-less sessions.
+        self.progress_events: List[Tuple[str, Dict]] = []
 
     # -- metric forwarding ---------------------------------------------------
 
@@ -57,7 +71,11 @@ class Telemetry:
     # -- events ------------------------------------------------------------------
 
     def event(self, event_type: str, **data) -> None:
-        """Emit a journal event (dropped when no journal is attached)."""
+        """Emit a journal event (dropped when no journal is attached;
+        ``progress.*`` events are additionally kept in memory for
+        :func:`progress_snapshot`)."""
+        if event_type.startswith("progress."):
+            self.progress_events.append((event_type, dict(data)))
         if self.journal is not None:
             self.journal.emit(event_type, **data)
 
@@ -97,7 +115,9 @@ class _SpanContext:
         telemetry = self._telemetry
         path = telemetry.spans.open(self._name)
         telemetry.event("span.open", path=path,
-                        depth=telemetry.spans.depth - 1)
+                        depth=telemetry.spans.depth - 1,
+                        span=telemetry.spans.current_span_id,
+                        parent=telemetry.spans.current_parent_id)
         return self
 
     def __exit__(self, exc_type, exc, tb) -> None:
@@ -105,7 +125,8 @@ class _SpanContext:
         record = telemetry.spans.close()
         self.duration = record.duration
         telemetry.event("span.close", path=record.path,
-                        duration=round(record.duration, 6))
+                        duration=round(record.duration, 6),
+                        span=record.span_id, parent=record.parent_id)
 
 
 class _NoopSpan:
@@ -158,18 +179,21 @@ def deactivate(previous: Optional[Telemetry] = None) -> None:
 @contextmanager
 def session(trace: Union[str, None] = None,
             metrics: Optional[MetricsRegistry] = None,
-            ledger: bool = False) -> Iterator[Telemetry]:
+            ledger: bool = False,
+            trace_id: Optional[str] = None) -> Iterator[Telemetry]:
     """Run a block with telemetry on.
 
     ``trace`` names a JSONL journal file to stream events to; without it
     only in-memory metrics and spans are collected.  ``ledger`` attaches
     a :class:`repro.obs.ledger.FaultLedger` recording the per-fault
-    lifecycle (available as ``telemetry.ledger``).
+    lifecycle (available as ``telemetry.ledger``).  ``trace_id`` joins
+    an existing cross-process trace instead of minting a new one.
     """
-    journal = RunJournal(trace) if trace else None
+    trace_id = trace_id or new_trace_id()
+    journal = RunJournal(trace, trace_id=trace_id) if trace else None
     fault_ledger = _ledger.FaultLedger() if ledger else None
     telemetry = Telemetry(journal=journal, metrics=metrics,
-                          ledger=fault_ledger)
+                          ledger=fault_ledger, trace_id=trace_id)
     previous = activate(telemetry)
     try:
         yield telemetry
@@ -252,3 +276,17 @@ def timed(name: str):
                 return func(*args, **kwargs)
         return wrapper
     return decorate
+
+
+def progress_snapshot():
+    """A :class:`repro.obs.live.ProgressSnapshot` of the active session
+    (phase tree, completion fraction, ETA), or None while telemetry is
+    off.  Built from the session's own spans and ``progress.*`` events —
+    no journal required; the journal-tailing equivalent for *other*
+    processes lives in :mod:`repro.obs.live`."""
+    telemetry = _active
+    if telemetry is None:
+        return None
+    from .live import ProgressModel
+    return ProgressModel.from_telemetry(telemetry).snapshot(
+        now=time.perf_counter() - telemetry._t0)

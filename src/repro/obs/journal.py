@@ -23,16 +23,27 @@ Fixed keys:
     Kind-specific payload object.
 
 The writer flushes after every line so a crashed or killed run leaves a
-readable journal up to its last event — the point of a journal.
+readable journal up to its last event — and so live tailers (the
+``repro-atpg watch`` TUI, :func:`repro.obs.live.follow_journal`) see
+events promptly, not whenever a block buffer happens to fill.
 
 Multi-process runs
 ------------------
 :class:`RunJournal` assumes a **single writer**: one process, one file,
-one gap-free ``seq``.  Parallel runs therefore never share a journal.
-Instead, each worker process writes its own journal at the path given
-by :func:`worker_journal_path` — the convention is ``<base>.w<pid>``,
+one gap-free ``seq``.  (Multiple *threads* of that process may emit —
+writes are serialized by an internal lock — but never multiple
+processes.)  Parallel runs therefore never share a journal.  Instead,
+each worker process writes its own journal at the path given by
+:func:`worker_journal_path` — the convention is ``<base>.w<pid>``,
 where ``<base>`` is the parent run's journal path — and the parent
 combines them afterwards with :func:`merge_journals`.
+
+Any number of concurrent *readers* is fine: tailers open the files
+read-only and must tolerate a truncated final line (the writer may be
+mid-``write`` when they poll), which both :func:`read_journal` and the
+incremental follower in :mod:`repro.obs.live` do.  Tailers must never
+write to a journal they follow — the single-writer rule has no
+exceptions.
 
 Merged streams tag every event with a ``src`` key naming its source
 journal.  :func:`read_journal` accepts such multi-source streams: the
@@ -44,6 +55,8 @@ writer; interleaving is the merge layer's doing).
 from __future__ import annotations
 
 import json
+import math
+import threading
 import time
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Union
@@ -63,20 +76,30 @@ def worker_journal_path(base: Union[str, Path], worker: int) -> Path:
 
 
 class RunJournal:
-    """Streaming JSONL event writer (see module docstring for schema)."""
+    """Streaming JSONL event writer (see module docstring for schema).
 
-    def __init__(self, path: Union[str, Path]):
+    ``trace_id``, when given, is recorded in the ``journal.open`` event
+    so every journal of a multi-process run names the trace it belongs
+    to.  Thread-safe: a heartbeat thread and the main thread may emit
+    concurrently; each event is written and flushed atomically under an
+    internal lock.
+    """
+
+    def __init__(self, path: Union[str, Path],
+                 trace_id: Optional[str] = None):
         self.path = Path(path)
+        self.trace_id = trace_id
+        self._lock = threading.Lock()
         self._fh = self.path.open("w", encoding="utf-8")
         self._seq = 0
         self._t0 = time.perf_counter()
         self.closed = False
-        self.emit("journal.open", schema=SCHEMA, wall_time=time.time())
+        head = {"schema": SCHEMA, "wall_time": time.time()}
+        if trace_id:
+            head["trace_id"] = trace_id
+        self.emit("journal.open", **head)
 
-    def emit(self, event_type: str, **data) -> None:
-        """Write one event; no-op after :meth:`close`."""
-        if self.closed:
-            return
+    def _write(self, event_type: str, data: Dict) -> None:
         record = {
             "seq": self._seq,
             "t": round(time.perf_counter() - self._t0, 6),
@@ -88,12 +111,20 @@ class RunJournal:
                                   sort_keys=True) + "\n")
         self._fh.flush()
 
+    def emit(self, event_type: str, **data) -> None:
+        """Write one event; no-op after :meth:`close`."""
+        with self._lock:
+            if self.closed:
+                return
+            self._write(event_type, data)
+
     def close(self) -> None:
-        if self.closed:
-            return
-        self.emit("journal.close", wall_time=time.time())
-        self.closed = True
-        self._fh.close()
+        with self._lock:
+            if self.closed:
+                return
+            self._write("journal.close", {"wall_time": time.time()})
+            self.closed = True
+            self._fh.close()
 
 
 def read_journal(path: Union[str, Path]) -> List[Dict]:
@@ -159,6 +190,7 @@ def merge_journals(
     paths: Sequence[Union[str, Path]],
     out: Optional[Union[str, Path]] = None,
     sources: Optional[Sequence[str]] = None,
+    anchor: str = "min",
 ) -> List[Dict]:
     """Combine several single-writer journals into one ordered stream.
 
@@ -168,23 +200,39 @@ def merge_journals(
     and re-timed onto a shared clock: every source's ``journal.open``
     carries the wall-clock time it opened at, so ``wall_open + t`` is
     comparable across processes and the merged ``t`` is seconds since
-    the *earliest* open.  Events are ordered by that global time, ties
+    the anchor open.  Events are ordered by that global time, ties
     broken by ``(src, seq)`` — fully deterministic.
+
+    ``anchor`` picks the zero of the merged clock: ``"min"`` (default)
+    anchors on the earliest open, ``"first"`` on the first path's open
+    — the right choice when that path is the *primary* run journal and
+    the rest are its workers, so a worker whose clock is skewed cannot
+    drag the whole timeline off the parent's.  Re-timed deltas that
+    come out negative (a source's wall clock claims it ran before the
+    anchor — clock skew, since ``t`` itself is monotonic per source)
+    are clamped to zero rather than breaking the merged stream's
+    monotonic-``t`` invariant; each clamped event counts toward a
+    ``journal.merge.skew`` metric and a ``skew_clamped`` tally in the
+    synthetic open, so skew is visible instead of silently reordered.
 
     The merged stream is wrapped in a synthetic ``journal.open`` /
     ``journal.close`` pair (``src`` = :data:`MERGE_SRC`) so the result
     is itself a valid journal; ``out`` optionally writes it as JSONL
     (readable back with :func:`read_journal`).  Per-source ``seq``
     values are preserved, which is what the multi-source validation in
-    :func:`read_journal` checks against.
+    :func:`read_journal` checks against.  The primary source's
+    ``trace_id`` (when present) is propagated into the synthetic open.
     """
     if not paths:
         raise ValueError("merge_journals needs at least one path")
     if sources is not None and len(sources) != len(paths):
         raise ValueError("sources must align with paths")
+    if anchor not in ("min", "first"):
+        raise ValueError(f"unknown merge anchor {anchor!r}")
     annotated: List[Dict] = []
     opens: List[float] = []
     labels: List[str] = []
+    trace_id: Optional[str] = None
     for index, path in enumerate(paths):
         events = read_journal(path)
         if not events:
@@ -198,26 +246,44 @@ def merge_journals(
             label = f"{label}#{index}"
         labels.append(label)
         wall_open = events[0].get("data", {}).get("wall_time")
-        if wall_open is None:
-            raise ValueError(f"{path}: journal.open lacks wall_time")
+        if wall_open is None or not isinstance(wall_open, (int, float)) \
+                or not math.isfinite(wall_open):
+            raise ValueError(f"{path}: journal.open lacks a finite wall_time")
+        if trace_id is None:
+            trace_id = events[0].get("data", {}).get("trace_id")
         opens.append(wall_open)
         for event in events:
             tagged = dict(event)
             tagged["src"] = label
             tagged["_abs"] = wall_open + event["t"]
             annotated.append(tagged)
-    t0 = min(opens)
+    t0 = opens[0] if anchor == "first" else min(opens)
     annotated.sort(key=lambda e: (e["_abs"], e["src"], e["seq"]))
+    skew_clamped = 0
+    last_t = 0.0
+    retimed: List[Dict] = []
+    for event in annotated:
+        delta = event.pop("_abs") - t0
+        if delta < 0.0:
+            skew_clamped += 1
+            delta = 0.0
+        event["t"] = round(delta, 6)
+        last_t = max(last_t, event["t"])
+        retimed.append(event)
+    if skew_clamped:
+        from .context import incr as _incr
+        _incr("journal.merge.skew", skew_clamped)
+    head: Dict = {"schema": SCHEMA, "wall_time": t0,
+                  "sources": labels, "merged": len(paths)}
+    if trace_id:
+        head["trace_id"] = trace_id
+    if skew_clamped:
+        head["skew_clamped"] = skew_clamped
     merged: List[Dict] = [{
         "seq": 0, "t": 0.0, "type": "journal.open", "src": MERGE_SRC,
-        "data": {"schema": SCHEMA, "wall_time": t0,
-                 "sources": labels, "merged": len(paths)},
+        "data": head,
     }]
-    last_t = 0.0
-    for event in annotated:
-        event["t"] = round(max(0.0, event.pop("_abs") - t0), 6)
-        last_t = max(last_t, event["t"])
-        merged.append(event)
+    merged.extend(retimed)
     merged.append({
         "seq": 1, "t": last_t, "type": "journal.close", "src": MERGE_SRC,
         "data": {"wall_time": t0 + last_t},

@@ -1,0 +1,658 @@
+"""Live run monitoring: journal tailing, a progress/ETA model, and the
+text renderer behind ``repro-atpg watch``.
+
+Three layers, each usable alone:
+
+:class:`JournalFollower` / :func:`follow_journal`
+    Incremental readers of a *growing* journal.  They tolerate the
+    in-flight truncated tail (the single writer may be mid-``write``
+    when a poll happens), discover per-worker sibling journals
+    (``<base>.w<pid>``) as they appear, and never write — tailers are
+    read-only by contract (see :mod:`repro.obs.journal`).
+
+:class:`ProgressModel`
+    An event-fold: feed it journal events (live from a follower, or a
+    whole recorded journal) and ask for a :class:`ProgressSnapshot` —
+    phase tree, per-shard worker state with heartbeat freshness, an
+    overall completion fraction and an ETA.  Phase *weights* (relative
+    expected costs) seed the fraction: warm runs get weights derived
+    from cached detection-time entries (:func:`phase_weights_from_store`,
+    journaled by the pipeline as a ``progress.estimate`` event); cold
+    runs fall back to :data:`DEFAULT_PHASE_WEIGHTS` plus live
+    completion rates.
+
+:func:`render_watch`
+    Plain-text rendering of a snapshot (progress bars, heartbeat ages,
+    top metrics) — what ``repro-atpg watch`` prints, and deliberately
+    pipe/CI friendly (pure ASCII, no cursor control).
+
+The in-process variant — progress of *this* process's active telemetry
+session, no journal involved — is ``obs.progress_snapshot()``, built on
+:meth:`ProgressModel.from_telemetry`.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Tuple, Union
+
+from .journal import MERGE_SRC
+from .trace import MAIN_SRC
+
+#: Relative expected cost per pipeline phase (leaf span name) when no
+#: cached history is available.  Units are arbitrary — only ratios
+#: matter.  Derived from typical benchmark splits: ATPG and the two
+#: compaction passes dominate; structural passes are noise.
+DEFAULT_PHASE_WEIGHTS: Dict[str, float] = {
+    "scan_insert": 1.0,
+    "collapse": 2.0,
+    "atpg": 50.0,
+    "baseline_atpg": 40.0,
+    "translate": 3.0,
+    "redundancy": 5.0,
+    "restoration": 15.0,
+    "omission": 25.0,
+}
+
+#: Weight assumed for a phase no table mentions.
+_UNKNOWN_PHASE_WEIGHT = 5.0
+
+
+def phase_weights_from_store(store, circuit_fp: str) -> Optional[Dict[str, float]]:
+    """Warm per-phase weights for a circuit from its cached detection
+    entries, or None when the cache has none.
+
+    A ``detection`` payload records ``(fault, detection_time)`` pairs —
+    its length is the fault count the ATPG phase must target and its
+    horizon (max detection time) is the sequence length the compaction
+    passes must sweep.  Both scale the phases' relative costs far better
+    than static defaults: ATPG work goes with faults, restoration and
+    omission with vectors.  The largest entry for the circuit wins
+    (most complete run).  Heuristic by design — weights only steer the
+    progress fraction, never correctness.
+    """
+    best: Optional[Tuple[int, int]] = None
+    try:
+        entries = store.entries_for_circuit(circuit_fp)
+    except Exception:
+        return None
+    for stage, payload in entries:
+        if stage != "detection":
+            continue
+        times = payload.get("times") or []
+        if not times:
+            continue
+        try:
+            horizon = max(int(t) for _fault, t in times) + 1
+        except (TypeError, ValueError):
+            continue
+        if best is None or len(times) > best[0]:
+            best = (len(times), horizon)
+    if best is None:
+        return None
+    faults, horizon = best
+    return {
+        "scan_insert": 0.02 * faults,
+        "collapse": 0.05 * faults,
+        "atpg": 1.0 * faults,
+        "baseline_atpg": 0.8 * faults,
+        "translate": 0.1 * faults,
+        "redundancy": 0.1 * faults,
+        "restoration": 0.5 * horizon,
+        "omission": 1.0 * horizon,
+    }
+
+
+# ---------------------------------------------------------------------------
+# Journal tailing
+# ---------------------------------------------------------------------------
+
+class _FileTail:
+    """Incremental reader of one growing journal file.
+
+    Reads in binary and splits on newlines itself, so a poll that races
+    the writer mid-``write`` simply buffers the partial tail until the
+    rest arrives — no event is ever lost or double-read, and a torn
+    line never reaches ``json.loads``.
+    """
+
+    def __init__(self, path: Union[str, Path], src: str):
+        self.path = Path(path)
+        self.src = src
+        self.offset = 0
+        self.closed = False       # saw this source's journal.close
+        self.malformed = 0        # complete-but-unparseable lines skipped
+        self._buffer = b""
+        self._base_wall: Optional[float] = None
+
+    def poll(self) -> List[Dict]:
+        """Events appended since the last poll (possibly empty)."""
+        try:
+            with self.path.open("rb") as fh:
+                fh.seek(self.offset)
+                chunk = fh.read()
+                self.offset = fh.tell()
+        except OSError:
+            return []
+        if not chunk:
+            return []
+        self._buffer += chunk
+        *lines, self._buffer = self._buffer.split(b"\n")
+        events: List[Dict] = []
+        for raw in lines:
+            raw = raw.strip()
+            if not raw:
+                continue
+            try:
+                event = json.loads(raw.decode("utf-8"))
+            except (UnicodeDecodeError, json.JSONDecodeError):
+                self.malformed += 1
+                continue
+            if not isinstance(event, dict):
+                self.malformed += 1
+                continue
+            event.setdefault("src", self.src)
+            etype = event.get("type")
+            if etype == "journal.open" and self._base_wall is None:
+                wall = (event.get("data") or {}).get("wall_time")
+                if isinstance(wall, (int, float)):
+                    self._base_wall = wall - float(event.get("t", 0.0))
+            if etype == "journal.close" and \
+                    event.get("src") in (self.src, MERGE_SRC):
+                self.closed = True
+            base = self._base_wall if self._base_wall is not None else 0.0
+            event["_wall"] = base + float(event.get("t", 0.0))
+            events.append(event)
+        return events
+
+
+class JournalFollower:
+    """Tail a run journal plus the per-worker siblings it spawns.
+
+    ``poll()`` returns every event appended (to any of the files) since
+    the previous poll, each tagged with ``src`` (``main`` for the base
+    journal, ``w<pid>`` for workers) and ``_wall`` (absolute wall-clock
+    seconds, so events from different processes are comparable).  New
+    ``<base>.w<pid>`` files are discovered on every poll.  Strictly
+    read-only — the files' writers are elsewhere.
+    """
+
+    def __init__(self, path: Union[str, Path], workers: bool = True):
+        self.path = Path(path)
+        self._base = _FileTail(self.path, MAIN_SRC)
+        self._workers: Dict[Path, _FileTail] = {}
+        self._discover_workers = workers
+
+    def _discover(self) -> None:
+        for found in sorted(self.path.parent.glob(self.path.name + ".w*")):
+            if found not in self._workers:
+                label = found.name[len(self.path.name) + 1:]
+                self._workers[found] = _FileTail(found, label)
+
+    def poll(self) -> List[Dict]:
+        """Drain everything newly appended, base journal first."""
+        if self._discover_workers:
+            self._discover()
+        events = self._base.poll()
+        for tail in self._workers.values():
+            events.extend(tail.poll())
+        return events
+
+    @property
+    def finished(self) -> bool:
+        """True once the base journal and every discovered worker
+        journal have written their ``journal.close``."""
+        return self._base.closed and \
+            all(tail.closed for tail in self._workers.values())
+
+    @property
+    def base_closed(self) -> bool:
+        """True once the base journal alone has closed — the signal to
+        start a close-grace countdown for workers that died without
+        writing their own close."""
+        return self._base.closed
+
+    @property
+    def malformed(self) -> int:
+        return self._base.malformed + \
+            sum(tail.malformed for tail in self._workers.values())
+
+    def follow(self, poll_interval: float = 0.2,
+               timeout: Optional[float] = None,
+               close_grace: float = 3.0) -> Iterator[Dict]:
+        """Yield events as they appear, blocking between polls.
+
+        Stops when the run is :attr:`finished`; when the base journal
+        has closed and nothing new arrived for ``close_grace`` seconds
+        (covers workers that die without closing); or when nothing at
+        all arrived for ``timeout`` seconds (None = wait forever).
+        """
+        last_activity = time.monotonic()
+        while True:
+            batch = self.poll()
+            if batch:
+                last_activity = time.monotonic()
+                for event in batch:
+                    yield event
+            if self.finished:
+                return
+            idle = time.monotonic() - last_activity
+            if self._base.closed and idle >= close_grace:
+                return
+            if timeout is not None and idle >= timeout:
+                return
+            time.sleep(poll_interval)
+
+
+def follow_journal(path: Union[str, Path], poll_interval: float = 0.2,
+                   timeout: Optional[float] = None) -> Iterator[Dict]:
+    """Convenience wrapper: ``JournalFollower(path).follow(...)``."""
+    return JournalFollower(path).follow(poll_interval=poll_interval,
+                                        timeout=timeout)
+
+
+# ---------------------------------------------------------------------------
+# Progress model
+# ---------------------------------------------------------------------------
+
+@dataclass
+class PhaseInfo:
+    """One pipeline phase (a main-process span) for display."""
+
+    path: str
+    name: str
+    state: str            # "done" | "active" | "pending"
+    t_open: float = 0.0
+    duration: Optional[float] = None
+    fraction: float = 0.0
+    detail: str = ""
+
+
+@dataclass
+class ShardInfo:
+    """Latest known state of one worker shard."""
+
+    src: str
+    shard: int
+    pid: int = 0
+    vectors: int = 0
+    vectors_total: int = 0
+    detected: int = 0
+    faults: int = 0
+    cycles: int = 0
+    rss_kb: int = 0
+    busy: bool = False
+    done: bool = False
+    last_wall: float = 0.0
+
+    @property
+    def fraction(self) -> float:
+        if self.done:
+            return 1.0
+        if self.vectors_total <= 0:
+            return 0.0
+        return min(1.0, self.vectors / self.vectors_total)
+
+
+@dataclass
+class ProgressSnapshot:
+    """Point-in-time view of a run's progress."""
+
+    trace_id: str = ""
+    flow: str = ""
+    phase: str = ""                 # deepest open span path
+    phases: List[PhaseInfo] = field(default_factory=list)
+    shards: List[ShardInfo] = field(default_factory=list)
+    elapsed: float = 0.0
+    fraction: float = 0.0
+    eta: Optional[float] = None     # seconds remaining; None = unknown
+    finished: bool = False
+    started: bool = False
+    events: int = 0
+    weights_source: str = "default"
+    heartbeat_ages: Dict[str, float] = field(default_factory=dict)
+    metrics: Dict[str, float] = field(default_factory=dict)
+
+
+class ProgressModel:
+    """Fold journal events into a live progress estimate.
+
+    Feed events in arrival order via :meth:`ingest`; call
+    :meth:`snapshot` whenever a view is wanted.  The model is tolerant
+    by design — unknown event kinds are counted and ignored, and a
+    journal from a crashed run still snapshots sensibly.
+    """
+
+    def __init__(self, weights: Optional[Dict[str, float]] = None):
+        self.trace_id = ""
+        self.flow = ""
+        self.weights = dict(weights or DEFAULT_PHASE_WEIGHTS)
+        self.weights_source = "default"
+        self.planned: List[str] = []
+        self.events = 0
+        self.finished = False
+        self.started = False
+        self._main_src: Optional[str] = None
+        self._start_wall: Optional[float] = None
+        self._last_wall: float = 0.0
+        self._phases: Dict[str, PhaseInfo] = {}
+        self._open_paths: List[str] = []
+        self._work: Dict[str, Dict] = {}
+        self._shards: Dict[Tuple[str, int], ShardInfo] = {}
+        self._metrics: Dict[str, float] = {}
+
+    # -- ingestion ----------------------------------------------------------
+
+    @classmethod
+    def from_telemetry(cls, telemetry) -> "ProgressModel":
+        """Model of an in-process session (``obs.progress_snapshot()``):
+        spans and ``progress.*`` events read straight off the
+        :class:`~repro.obs.context.Telemetry` object, timed relative to
+        the session's start."""
+        model = cls()
+        model.trace_id = telemetry.trace_id or ""
+        model._main_src = MAIN_SRC
+        model._start_wall = 0.0
+        model.started = True
+        t0 = telemetry._t0
+        for etype, data in telemetry.progress_events:
+            model._ingest_progress(etype, data)
+        for record in telemetry.spans.records:
+            model._phases[record.path] = PhaseInfo(
+                path=record.path, name=record.name, state="done",
+                t_open=record.start - t0, duration=record.duration,
+                fraction=1.0)
+        for path, _span_id, start in telemetry.spans.open_spans():
+            model._phases[path] = PhaseInfo(
+                path=path, name=path.rsplit("/", 1)[-1], state="active",
+                t_open=start - t0)
+            model._open_paths.append(path)
+        model._last_wall = time.perf_counter() - t0
+        return model
+
+    def ingest(self, event: Dict) -> None:
+        """Fold one journal event (as produced by a follower or
+        :func:`repro.obs.journal.read_journal`) into the model."""
+        self.events += 1
+        etype = event.get("type", "")
+        src = event.get("src") or MAIN_SRC
+        data = event.get("data") or {}
+        wall = event.get("_wall")
+        if wall is None:
+            wall = float(event.get("t", 0.0))
+        if etype == "parallel.worker.event":
+            # Relay envelope: the engine re-emits worker journal events
+            # into the parent journal post-merge.
+            etype = str(data.get("inner", ""))
+            src = str(data.get("src") or src)
+            data = {k: v for k, v in data.items()
+                    if k not in ("inner", "src", "seq")}
+        if src == MERGE_SRC:
+            if etype == "journal.open":
+                self.trace_id = self.trace_id or str(data.get("trace_id", ""))
+            return
+        self._last_wall = max(self._last_wall, wall)
+        if etype == "journal.open":
+            if self._main_src is None:
+                self._main_src = src
+                self._start_wall = wall
+                self.started = True
+                self.trace_id = self.trace_id or str(data.get("trace_id", ""))
+            return
+        if etype == "journal.close":
+            if src == self._main_src:
+                self.finished = True
+            return
+        if etype.startswith("progress."):
+            self._ingest_progress(etype, data)
+            return
+        if etype == "span.open" and src == self._main_src:
+            path = str(data.get("path", ""))
+            self._phases[path] = PhaseInfo(
+                path=path, name=path.rsplit("/", 1)[-1], state="active",
+                t_open=wall)
+            self._open_paths.append(path)
+            return
+        if etype == "span.close" and src == self._main_src:
+            path = str(data.get("path", ""))
+            info = self._phases.get(path)
+            if info is not None:
+                info.state = "done"
+                info.fraction = 1.0
+                info.duration = data.get("duration")
+            if path in self._open_paths:
+                self._open_paths.remove(path)
+            return
+        if etype == "parallel.worker.heartbeat":
+            key = (src, int(data.get("shard", -1)))
+            shard = self._shards.get(key)
+            if shard is None:
+                shard = self._shards[key] = ShardInfo(src=src, shard=key[1])
+            shard.pid = int(data.get("pid", shard.pid) or 0)
+            shard.vectors = int(data.get("vectors", shard.vectors) or 0)
+            shard.vectors_total = int(
+                data.get("vectors_total", shard.vectors_total) or 0)
+            shard.detected = int(data.get("detected", shard.detected) or 0)
+            shard.faults = int(data.get("faults", shard.faults) or 0)
+            shard.cycles = int(data.get("cycles", shard.cycles) or 0)
+            shard.rss_kb = int(data.get("rss_kb", shard.rss_kb) or 0)
+            shard.busy = bool(data.get("busy", False))
+            shard.done = shard.done and not shard.busy
+            shard.last_wall = max(shard.last_wall, wall)
+            return
+        if etype == "parallel.shard":
+            key = (src, int(data.get("shard", -1)))
+            shard = self._shards.get(key)
+            if shard is None:
+                shard = self._shards[key] = ShardInfo(src=src, shard=key[1])
+            shard.done = True
+            shard.busy = False
+            shard.detected = int(data.get("detected", shard.detected) or 0)
+            shard.faults = int(data.get("faults", shard.faults) or 0)
+            shard.last_wall = max(shard.last_wall, wall)
+            return
+        if etype == "coverage":
+            # Coverage phases are dotted ("pipeline.atpg"); work totals
+            # key on the bare phase leaf ("atpg").
+            phase = str(data.get("phase", ""))
+            work = self._work.get(phase) or \
+                self._work.get(phase.rsplit(".", 1)[-1])
+            if work is not None and "detected" in data:
+                work["done"] = int(data["detected"])
+            return
+        if etype == "metrics.snapshot":
+            counters = data.get("counters")
+            if isinstance(counters, dict):
+                for name, value in counters.items():
+                    if isinstance(value, (int, float)):
+                        self._metrics[name] = value
+            return
+        if etype in ("cache.hit", "cache.miss"):
+            self._metrics[etype] = self._metrics.get(etype, 0) + 1
+
+    def _ingest_progress(self, etype: str, data: Dict) -> None:
+        if etype == "progress.plan":
+            self.flow = str(data.get("flow", self.flow))
+            phases = data.get("phases")
+            if isinstance(phases, list):
+                self.planned = [str(p) for p in phases]
+        elif etype == "progress.work":
+            phase = str(data.get("phase", ""))
+            if phase:
+                self._work[phase] = {
+                    "total": int(data.get("total", 0) or 0),
+                    "unit": str(data.get("unit", "")),
+                    "done": int(data.get("done", 0) or 0),
+                }
+        elif etype == "progress.estimate":
+            weights = data.get("weights")
+            if isinstance(weights, dict):
+                for name, value in weights.items():
+                    if isinstance(value, (int, float)) and value > 0:
+                        self.weights[str(name)] = float(value)
+                self.weights_source = str(data.get("source", "estimate"))
+
+    # -- snapshot -----------------------------------------------------------
+
+    def _phase_weight(self, leaf: str) -> float:
+        return self.weights.get(leaf, _UNKNOWN_PHASE_WEIGHT)
+
+    def _intra_fraction(self, leaf: str) -> float:
+        """Completion fraction inside the active phase: live shard
+        vectors when workers are reporting, declared work totals
+        otherwise, else 0 (conservative)."""
+        active = [s for s in self._shards.values() if not s.done]
+        if active and any(s.vectors_total > 0 for s in active):
+            done_v = sum(s.vectors for s in self._shards.values())
+            total_v = sum(s.vectors_total for s in self._shards.values())
+            if total_v > 0:
+                return min(1.0, done_v / total_v)
+        work = self._work.get(leaf)
+        if work and work["total"] > 0:
+            return min(1.0, work["done"] / work["total"])
+        return 0.0
+
+    def snapshot(self, now: Optional[float] = None) -> ProgressSnapshot:
+        """Compute the current :class:`ProgressSnapshot`.
+
+        ``now`` is a wall-clock timestamp on the same scale as the
+        ingested events' ``_wall`` values; defaults to ``time.time()``
+        for live follows, or to the last event's time once the run has
+        finished (so post-mortem snapshots don't age).
+        """
+        if now is None:
+            now = self._last_wall if self.finished else time.time()
+        start = self._start_wall if self._start_wall is not None else now
+        elapsed = max(0.0, (self._last_wall if self.finished else now) - start)
+
+        phases = sorted(self._phases.values(), key=lambda p: p.t_open)
+        # Display the pipeline level: roots and their direct children.
+        display = [p for p in phases if p.path.count("/") <= 1]
+        current = self._open_paths[-1] if self._open_paths else ""
+
+        done_leaves = {p.name for p in phases if p.state == "done"}
+        active_leaves = [p.name for p in phases if p.state == "active"
+                         and p.path.count("/") == 1]
+        plan = list(self.planned)
+        for p in phases:
+            if p.path.count("/") == 1 and p.name not in plan:
+                plan.append(p.name)
+        total_w = sum(self._phase_weight(leaf) for leaf in plan)
+        fraction = 0.0
+        if self.finished:
+            fraction = 1.0
+        elif total_w > 0:
+            done_w = sum(self._phase_weight(leaf) for leaf in plan
+                         if leaf in done_leaves)
+            active_w = 0.0
+            for leaf in plan:
+                if leaf in done_leaves or leaf not in active_leaves:
+                    continue
+                intra = self._intra_fraction(leaf)
+                active_w += self._phase_weight(leaf) * intra
+                info = next((p for p in phases
+                             if p.name == leaf and p.state == "active"), None)
+                if info is not None:
+                    info.fraction = intra
+            fraction = min(1.0, (done_w + active_w) / total_w)
+
+        eta: Optional[float] = None
+        if self.finished:
+            eta = 0.0
+        elif fraction > 0.01 and elapsed > 0:
+            eta = elapsed * (1.0 - fraction) / fraction
+
+        for leaf, work in self._work.items():
+            info = next((p for p in phases if p.name == leaf), None)
+            if info is not None and work["total"] > 0:
+                info.detail = f"{work['done']}/{work['total']} {work['unit']}"
+
+        shards = sorted(self._shards.values(), key=lambda s: (s.src, s.shard))
+        ages = {s.src: max(0.0, now - s.last_wall)
+                for s in shards if s.last_wall > 0}
+        top = dict(sorted(self._metrics.items(),
+                          key=lambda item: -abs(item[1]))[:6])
+        return ProgressSnapshot(
+            trace_id=self.trace_id, flow=self.flow, phase=current,
+            phases=display, shards=shards, elapsed=elapsed,
+            fraction=fraction, eta=eta, finished=self.finished,
+            started=self.started, events=self.events,
+            weights_source=self.weights_source, heartbeat_ages=ages,
+            metrics=top)
+
+
+# ---------------------------------------------------------------------------
+# Rendering
+# ---------------------------------------------------------------------------
+
+def _bar(fraction: float, width: int = 20) -> str:
+    filled = int(round(max(0.0, min(1.0, fraction)) * width))
+    return "[" + "#" * filled + "-" * (width - filled) + "]"
+
+
+def _fmt_seconds(seconds: Optional[float]) -> str:
+    if seconds is None:
+        return "?"
+    if seconds >= 3600:
+        return f"{seconds / 3600:.1f}h"
+    if seconds >= 60:
+        return f"{seconds / 60:.1f}m"
+    return f"{seconds:.1f}s"
+
+
+_STATE_MARK = {"done": "+", "active": ">", "pending": "."}
+
+
+def render_watch(snap: ProgressSnapshot, top_metrics: int = 5) -> str:
+    """Render a snapshot as plain multi-line ASCII text."""
+    lines: List[str] = []
+    if not snap.started:
+        return "waiting for journal events..."
+    status = "FINISHED" if snap.finished else "RUNNING"
+    run = snap.trace_id[:12] if snap.trace_id else "?"
+    flow = f" {snap.flow}" if snap.flow else ""
+    lines.append(f"run {run}{flow} - {status} - "
+                 f"elapsed {_fmt_seconds(snap.elapsed)}")
+    lines.append(f"{_bar(snap.fraction)} {snap.fraction * 100:5.1f}%  "
+                 f"ETA {_fmt_seconds(snap.eta)}  "
+                 f"(weights: {snap.weights_source})")
+    if snap.phase:
+        lines.append(f"phase: {snap.phase}")
+    if snap.phases:
+        lines.append("phases:")
+        for info in snap.phases:
+            mark = _STATE_MARK.get(info.state, "?")
+            indent = "  " * (info.path.count("/") + 1)
+            line = f"{indent}{mark} {info.name}"
+            if info.state == "done" and info.duration is not None:
+                line += f"  {_fmt_seconds(info.duration)}"
+            elif info.state == "active" and info.fraction > 0:
+                line += f"  {info.fraction * 100:.0f}%"
+            if info.detail:
+                line += f"  ({info.detail})"
+            lines.append(line)
+    if snap.shards:
+        lines.append("shards:")
+        for shard in snap.shards:
+            age = snap.heartbeat_ages.get(shard.src)
+            if shard.done:
+                state = "done"
+            elif age is None:
+                state = "hb ?"
+            else:
+                state = f"hb {age:.1f}s ago"
+            lines.append(
+                f"  {shard.src:<8} shard {shard.shard:<3} "
+                f"{_bar(shard.fraction, 12)} "
+                f"{shard.vectors}/{shard.vectors_total} vec  "
+                f"{shard.detected}/{shard.faults} det  "
+                f"rss {shard.rss_kb // 1024}MB  {state}")
+    if snap.metrics:
+        shown = list(snap.metrics.items())[:top_metrics]
+        lines.append("metrics: " + "  ".join(
+            f"{name}={value:g}" for name, value in shown))
+    lines.append(f"events: {snap.events}")
+    return "\n".join(lines)

@@ -10,6 +10,10 @@ metrics artifact exports.
 
 Timing uses ``time.perf_counter`` (monotonic); wall-clock correlation
 is the journal's job.
+
+Every span also carries a ``span_id`` (and the ``parent_id`` of the
+span it nests under) so the journal events written at open/close time
+identify spans across process boundaries — see :mod:`repro.obs.trace`.
 """
 
 from __future__ import annotations
@@ -17,6 +21,8 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass
 from typing import Dict, List, Tuple
+
+from .trace import new_span_id
 
 
 @dataclass(frozen=True)
@@ -28,6 +34,8 @@ class SpanRecord:
     depth: int      # nesting depth at open time (0 = root)
     start: float    # perf_counter at open
     end: float      # perf_counter at close
+    span_id: str = ""     # identity of this span within the trace
+    parent_id: str = ""   # span_id of the enclosing span ("" = root)
 
     @property
     def duration(self) -> float:
@@ -38,7 +46,8 @@ class SpanLog:
     """Open-span stack plus the completed-record list of one session."""
 
     def __init__(self):
-        self._stack: List[Tuple[str, str, float]] = []  # (name, path, start)
+        # (name, path, start, span_id, parent_id)
+        self._stack: List[Tuple[str, str, float, str, str]] = []
         self.records: List[SpanRecord] = []
 
     @property
@@ -49,26 +58,46 @@ class SpanLog:
     def current_path(self) -> str:
         return self._stack[-1][1] if self._stack else ""
 
+    @property
+    def current_span_id(self) -> str:
+        """span_id of the innermost open span ("" when none is open)."""
+        return self._stack[-1][3] if self._stack else ""
+
+    @property
+    def current_parent_id(self) -> str:
+        """parent_id of the innermost open span ("" when none is open)."""
+        return self._stack[-1][4] if self._stack else ""
+
+    def open_spans(self) -> List[Tuple[str, str, float]]:
+        """Snapshot of the open stack as ``(path, span_id, start)``
+        tuples, outermost first."""
+        return [(path, span_id, start)
+                for _name, path, start, span_id, _parent in self._stack]
+
     def open(self, name: str) -> str:
         """Open a nested span; returns its dotted path."""
         if "/" in name:
             raise ValueError(f"span name may not contain '/': {name!r}")
         parent = self.current_path
+        parent_id = self.current_span_id
         path = f"{parent}/{name}" if parent else name
-        self._stack.append((name, path, time.perf_counter()))
+        self._stack.append(
+            (name, path, time.perf_counter(), new_span_id(), parent_id))
         return path
 
     def close(self) -> SpanRecord:
         """Close the innermost open span and record it."""
         if not self._stack:
             raise RuntimeError("no open span to close")
-        name, path, start = self._stack.pop()
+        name, path, start, span_id, parent_id = self._stack.pop()
         record = SpanRecord(
             path=path,
             name=name,
             depth=len(self._stack),
             start=start,
             end=time.perf_counter(),
+            span_id=span_id,
+            parent_id=parent_id,
         )
         self.records.append(record)
         return record

@@ -29,7 +29,8 @@ which are merged back after the pool drains.
 from __future__ import annotations
 
 import copy
-from typing import Dict, Iterable, List, Optional, Sequence
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..circuit.netlist import Circuit
 from ..faults.model import Fault
@@ -49,6 +50,7 @@ from .worker import (
     ShardTask,
     WorkerContext,
     init_worker,
+    resolve_heartbeat_interval,
     run_shard,
     simulate_shard,
 )
@@ -63,10 +65,37 @@ def _split_task(task: ShardTask) -> List[ShardTask]:
         return [task]
     return [
         ShardTask(task.shard_index, task.positions[0::2],
-                  task.vectors, task.stop_when_all_detected),
+                  task.vectors, task.stop_when_all_detected,
+                  task.parent_span),
         ShardTask(task.shard_index, task.positions[1::2],
-                  task.vectors, task.stop_when_all_detected),
+                  task.vectors, task.stop_when_all_detected,
+                  task.parent_span),
     ]
+
+
+class _WorkerPulse:
+    """Pool liveness probe over the per-worker journal files.
+
+    Workers flush every journal line (heartbeats included), so the
+    newest mtime among ``<base>.w*`` files is a cheap, parent-side
+    "latest heartbeat" timestamp — no file parsing on the hot path.
+    A class, not a closure, per the no-closures audit rule for anything
+    handed to the pool.
+    """
+
+    def __init__(self, trace_base: str):
+        self.base = Path(trace_base)
+
+    def __call__(self) -> Optional[float]:
+        newest: Optional[float] = None
+        for path in self.base.parent.glob(self.base.name + ".w*"):
+            try:
+                mtime = path.stat().st_mtime
+            except OSError:
+                continue
+            if newest is None or mtime > newest:
+                newest = mtime
+        return newest
 
 
 class ParallelFaultSim:
@@ -121,10 +150,12 @@ class ParallelFaultSim:
         self.start_method = start_method
         self._serial: Optional[PackedFaultSimulator] = None
         #: The persistent worker pool (built on first parallel run) and
-        #: the trace base it was initialized with — a telemetry change
-        #: forces a rebuild so workers journal to the right place.
+        #: the (trace base, trace id) it was initialized with — a
+        #: telemetry change forces a rebuild so workers journal to the
+        #: right place under the right trace.
         self._pool: Optional[ResilientPool] = None
-        self._pool_trace_base: Optional[str] = None
+        self._pool_trace_key: Optional[Tuple[Optional[str], Optional[str]]] \
+            = None
         #: Highest worker-journal ``seq`` already merged, per source:
         #: persistent workers keep appending to the same journal files,
         #: so each merge must skip what earlier merges already emitted.
@@ -184,11 +215,13 @@ class ParallelFaultSim:
 
     # -- parallel execution ------------------------------------------------------
 
-    def _pool_for(self, jobs: int, trace_base: Optional[str]
-                  ) -> ResilientPool:
+    def _pool_for(self, jobs: int, trace_base: Optional[str],
+                  trace_id: Optional[str]) -> ResilientPool:
         """The persistent worker pool, (re)built when first needed or
-        when the telemetry journal the workers mirror has changed."""
-        if self._pool is not None and self._pool_trace_base != trace_base:
+        when the telemetry journal/trace the workers mirror has
+        changed."""
+        key = (trace_base, trace_id)
+        if self._pool is not None and self._pool_trace_key != key:
             self._pool.close()
             self._pool = None
         if self._pool is None:
@@ -197,6 +230,8 @@ class ParallelFaultSim:
                 faults=tuple(self.faults),
                 checkpoint_interval=self.checkpoint_interval,
                 trace_base=trace_base,
+                trace_id=trace_id,
+                heartbeat_interval=resolve_heartbeat_interval(),
             )
             self._pool = ResilientPool(
                 simulate_shard,
@@ -210,8 +245,10 @@ class ParallelFaultSim:
                 serial_fn=_SerialFallback(context),
                 label="parallel.pool",
                 persistent=True,
+                heartbeat_fn=(_WorkerPulse(trace_base)
+                              if trace_base else None),
             )
-            self._pool_trace_base = trace_base
+            self._pool_trace_key = key
         return self._pool
 
     def close(self) -> None:
@@ -222,7 +259,7 @@ class ParallelFaultSim:
         if self._pool is not None:
             self._pool.close()
             self._pool = None
-            self._pool_trace_base = None
+            self._pool_trace_key = None
 
     def __enter__(self) -> "ParallelFaultSim":
         return self
@@ -237,17 +274,23 @@ class ParallelFaultSim:
         stop_when_all_detected: bool,
     ) -> FaultSimResult:
         plan = self.plan(jobs)
-        tasks = [
-            ShardTask(shard.index, shard.positions, vecs,
-                      stop_when_all_detected)
-            for shard in plan.shards
-        ]
         telemetry = obs.active()
         trace_base = None
+        trace_id = None
         if telemetry is not None and telemetry.journal is not None:
             trace_base = str(telemetry.journal.path)
-        pool = self._pool_for(jobs, trace_base)
+            trace_id = telemetry.trace_id
+        pool = self._pool_for(jobs, trace_base, trace_id)
         with obs.span("parallel.run"):
+            # Tasks carry the open span's id so worker-side shard spans
+            # parent under it across the process boundary.
+            parent_span = (telemetry.spans.current_span_id
+                           if telemetry is not None else "")
+            tasks = [
+                ShardTask(shard.index, shard.positions, vecs,
+                          stop_when_all_detected, parent_span)
+                for shard in plan.shards
+            ]
             shard_results = pool.run(tasks)
         merged = merge_shard_results(self.faults, shard_results)
 

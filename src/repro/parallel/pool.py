@@ -69,6 +69,17 @@ class ResilientPool:
         Hang detector: when no task completes for this many seconds,
         every in-flight payload is declared hung, the executor is
         rebuilt and the payloads are requeued; ``None`` disables.
+    heartbeat_fn:
+        Optional liveness probe consulted when the hang detector would
+        otherwise fire: a zero-argument callable returning the wall
+        time (``time.time()`` scale) of the most recent worker
+        heartbeat, or ``None`` when unknown.  If the latest heartbeat
+        is younger than ``timeout``, the workers are alive-but-slow —
+        the detector re-arms (counting ``<label>.heartbeat_extends``)
+        instead of declaring a hang.  The engine wires this to the
+        mtimes of the per-worker journals, which heartbeat every
+        ``REPRO_HEARTBEAT_INTERVAL`` seconds; task-completion silence
+        alone can no longer kill a pool doing slow, honest work.
     max_retries:
         Pool attempts per payload beyond the first, before the serial
         fallback takes over.
@@ -106,6 +117,7 @@ class ResilientPool:
         serial_fn: Optional[Callable[[Any], Any]] = None,
         label: str = "parallel.pool",
         persistent: bool = False,
+        heartbeat_fn: Optional[Callable[[], Optional[float]]] = None,
     ):
         if jobs < 1:
             raise ValueError("jobs must be >= 1")
@@ -121,6 +133,7 @@ class ResilientPool:
         self.serial_fn = serial_fn or task_fn
         self.label = label
         self.persistent = persistent
+        self.heartbeat_fn = heartbeat_fn
         self._executor: Optional[ProcessPoolExecutor] = None
 
     # -- executor lifecycle -------------------------------------------------
@@ -200,8 +213,18 @@ class ResilientPool:
                         futures, timeout=remaining,
                         return_when=FIRST_COMPLETED)
                     if not done:
-                        # No completion within `timeout` seconds: declare
-                        # every in-flight payload hung and requeue them.
+                        # No *completion* within `timeout` seconds.  A
+                        # fresh worker heartbeat distinguishes slow from
+                        # hung: re-arm and keep waiting if one exists.
+                        beat = (self.heartbeat_fn()
+                                if self.heartbeat_fn is not None else None)
+                        if beat is not None and \
+                                time.time() - beat < self.timeout:
+                            obs.incr(f"{self.label}.heartbeat_extends")
+                            deadline = time.monotonic() + self.timeout
+                            continue
+                        # Genuinely silent: declare every in-flight
+                        # payload hung and requeue them.
                         obs.incr(f"{self.label}.timeouts", len(futures))
                         failed.extend(futures.values())
                         broken = True

@@ -138,6 +138,13 @@ class SimSession:
         self.faults_dropped = 0
         self.repacks = 0
 
+        #: Optional ``hook(vectors_done, vectors_total, detected)`` called
+        #: after every simulated cycle — the worker heartbeat's window
+        #: into an otherwise-blocking run.  Must be cheap; exceptions
+        #: propagate (a broken hook should fail loudly, not skew results
+        #: silently).
+        self.progress_hook = None
+
     def close(self) -> Dict[str, int]:
         """Flush the session's lifetime counters into the telemetry
         journal (one ``faultsim.session.close`` event) and return them.
@@ -370,6 +377,7 @@ class SimSession:
         remaining = wanted & ~seen
         cycles = 0
         n = len(vectors)
+        hook = self.progress_hook
 
         t = start
         while t < n:
@@ -386,6 +394,8 @@ class SimSession:
                     low = scan & -scan
                     times[faults[low.bit_length() - 2]] = t - 1
                     scan ^= low
+            if hook is not None:
+                hook(t, n, len(times))
             # Snapshot on the interval grid, and also exactly at the
             # divergence point from the previous timeline: queries that
             # keep editing the same position (omission retries, span
