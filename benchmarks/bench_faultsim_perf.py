@@ -4,7 +4,16 @@ Not a paper table — this bench justifies DESIGN.md substitution 4: the
 packed simulator's per-vector cost grows with faults/64 words per gate,
 so thousands of fault machines ride one pass.  Timed properly via
 pytest-benchmark (multiple rounds) on three circuit scales plus the
-scalar reference simulator and a PODEM run for contrast."""
+scalar reference simulator and a PODEM run for contrast.
+
+The ``vector`` backend (:mod:`repro.sim.kernel`) is benched against the
+packed reference at every scale, and the s1423-class run asserts the
+10x speedup floor whenever the compiled C engine is available.  Run
+standalone (``python benchmarks/bench_faultsim_perf.py --metrics-out
+BENCH_faultsim.json``) it executes the packed-vs-vector comparison
+inside a telemetry session and writes the metrics artifact — that
+produced the committed ``BENCH_faultsim.json`` baseline CI diffs fresh
+runs against with ``repro-atpg diff-metrics``."""
 
 import time
 
@@ -15,6 +24,7 @@ from repro.atpg import Podem, comb_view
 from repro.circuit import insert_scan, random_circuit, s27
 from repro.faults import collapse_faults
 from repro.sim import LogicSimulator, PackedFaultSimulator, SimSession
+from repro.sim.backend import make_backend, vector_available
 from repro.sim.fault_sim import FaultSimResult, iter_fault_positions
 from tests.util import random_vectors
 
@@ -45,6 +55,64 @@ def bench_packed_fault_sim(benchmark, scale):
     benchmark(run)
     benchmark.extra_info["faults"] = len(faults)
     benchmark.extra_info["gates"] = circuit.num_gates
+
+
+@pytest.mark.parametrize("scale", sorted(SCALES))
+def bench_vector_fault_sim(benchmark, scale):
+    if not vector_available():
+        pytest.skip("vector backend unavailable (needs numpy + C engine)")
+    circuit, faults = _build(scale)
+    sim = make_backend(circuit, faults, "vector")
+    vectors = random_vectors(circuit, 32, seed=1)
+
+    def run():
+        sim.reset()
+        for vector in vectors:
+            sim.step(vector)
+
+    benchmark(run)
+    benchmark.extra_info["faults"] = len(faults)
+    benchmark.extra_info["engine"] = sim.engine
+
+
+def bench_vector_speedup_floor(benchmark):
+    """The tentpole claim: the vector backend is >= 10x the packed
+    reference at the s1423 scale, with bit-identical detection maps."""
+    if not vector_available():
+        pytest.skip("vector backend unavailable (needs numpy + C engine)")
+    circuit, faults = _build("s1423-class")
+    vectors = random_vectors(circuit, 32, seed=1)
+    packed = PackedFaultSimulator(circuit, faults)
+    vector = make_backend(circuit, faults, "vector")
+
+    ref = packed.run([list(v) for v in vectors])
+    got = vector.run([list(v) for v in vectors])
+    assert got.detection_time == ref.detection_time
+    assert list(got.detection_time) == list(ref.detection_time)
+
+    def step_loop(sim):
+        sim.reset()
+        for vec in vectors:
+            sim.step(vec)
+
+    best = {}
+    for name, sim in (("packed", packed), ("vector", vector)):
+        times = []
+        for _ in range(5):
+            start = time.perf_counter()
+            step_loop(sim)
+            times.append(time.perf_counter() - start)
+        best[name] = min(times)
+
+    speedup = best["packed"] / best["vector"]
+    benchmark.extra_info["speedup"] = round(speedup, 2)
+    benchmark.extra_info["packed_ms"] = round(best["packed"] * 1000, 2)
+    benchmark.extra_info["vector_ms"] = round(best["vector"] * 1000, 2)
+    assert speedup >= 10.0, (
+        f"vector backend only {speedup:.1f}x over packed at s1423-class "
+        f"({best['packed'] * 1000:.1f} ms vs {best['vector'] * 1000:.1f} ms); "
+        f"the tentpole floor is 10x")
+    benchmark(lambda: step_loop(vector))
 
 
 def bench_scalar_logic_sim(benchmark):
@@ -159,3 +227,57 @@ def bench_telemetry_off_overhead(benchmark):
         f"(budget 2%): {best_instrumented:.6f}s vs {best_replica:.6f}s"
     )
     benchmark(instrumented)
+
+
+def run_backend_comparison():
+    """One packed and one vector run() at the s1423 scale; returns the
+    two results and the wall-clock seconds per backend."""
+    circuit, faults = _build("s1423-class")
+    vectors = [list(v) for v in random_vectors(circuit, 32, seed=1)]
+    results, seconds = {}, {}
+    for name in ("packed", "vector"):
+        sim = make_backend(circuit, faults, name)
+        with obs.span(f"bench_faultsim.{name}"):
+            start = time.perf_counter()
+            results[name] = sim.run(vectors)
+            seconds[name] = time.perf_counter() - start
+    assert results["vector"].detection_time == \
+        results["packed"].detection_time
+    assert list(results["vector"].detection_time) == \
+        list(results["packed"].detection_time)
+    return len(faults), results, seconds
+
+
+def main(argv=None):
+    """Standalone baseline producer for the diff-metrics CI gate."""
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        description="run the packed-vs-vector fault-sim comparison under "
+                    "telemetry and write the metrics artifact")
+    parser.add_argument("--metrics-out", metavar="FILE", required=True)
+    args = parser.parse_args(argv)
+    if not vector_available():
+        print("vector backend unavailable (needs numpy + a C compiler); "
+              "this gate requires it")
+        return 2
+    with obs.session() as telemetry:
+        with obs.span("bench_faultsim"):
+            num_faults, results, seconds = run_backend_comparison()
+        speedup = seconds["packed"] / seconds["vector"]
+        telemetry.set_gauge("faultsim.bench.speedup", round(speedup, 2))
+    detected = len(results["packed"].detection_time)
+    print(f"s1423-class: {num_faults} collapsed faults, 32 cycles, "
+          f"detected {detected}/{num_faults}")
+    print(f"  packed {seconds['packed'] * 1000:8.1f} ms")
+    print(f"  vector {seconds['vector'] * 1000:8.1f} ms   {speedup:.1f}x")
+    obs.write_metrics_json(args.metrics_out, telemetry,
+                           meta={"bench": "faultsim", "scale": "s1423-class"})
+    print(f"metrics written to {args.metrics_out}")
+    return 0
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.exit(main())

@@ -26,8 +26,9 @@ Layering (see DESIGN.md):
 * :mod:`repro.circuit` — netlist model, ``.bench`` I/O, scan insertion,
   benchmark library, synthetic generator;
 * :mod:`repro.faults` — stuck-at model + equivalence collapsing;
-* :mod:`repro.sim` — scalar logic simulation and the bit-parallel
-  sequential fault simulator;
+* :mod:`repro.sim` — scalar logic simulation and the pluggable
+  fault-simulation backends (packed reference + vectorized kernel)
+  behind the :class:`SimBackend` protocol;
 * :mod:`repro.atpg` — PODEM, combinational view, simulation-based
   sequential ATPG, and the two conventional scan approaches;
 * :mod:`repro.core` — the paper: scan-aware generation (Section 2),
@@ -65,12 +66,18 @@ from .faults import (
     enumerate_transition_faults,
 )
 from .sim import (
+    BACKEND_AUTO,
+    BACKEND_NAMES,
+    BACKEND_PACKED,
+    BACKEND_VECTOR,
     FaultSimResult,
     LogicSimulator,
     PackedFaultSimulator,
     PackedPatternSimulator,
     PackedTransitionSimulator,
+    SimBackend,
     SimSession,
+    make_backend,
 )
 from .atpg import (
     CombScanATPG,
@@ -124,6 +131,8 @@ __all__ = [
     # sim
     "LogicSimulator", "PackedFaultSimulator", "FaultSimResult",
     "PackedPatternSimulator", "PackedTransitionSimulator", "SimSession",
+    "SimBackend", "make_backend",
+    "BACKEND_AUTO", "BACKEND_PACKED", "BACKEND_VECTOR", "BACKEND_NAMES",
     # atpg
     "Podem", "PodemResult", "comb_view", "SequentialATPG", "SeqATPGConfig",
     "CombScanATPG", "SecondApproachATPG", "SecondApproachConfig",

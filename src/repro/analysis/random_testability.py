@@ -23,7 +23,7 @@ from typing import Dict, List, Optional, Sequence
 
 from ..circuit.netlist import Circuit
 from ..faults.model import Fault
-from ..sim.fault_sim import PackedFaultSimulator
+from ..sim.backend import coerce_simulator_factory, make_backend
 
 
 @dataclass
@@ -79,7 +79,8 @@ def random_testability(
     sequence_length: int = 64,
     trials: int = 16,
     seed: int = 0,
-    simulator_factory=PackedFaultSimulator,
+    simulator_factory=None,
+    sim_backend=None,
 ) -> RandomTestabilityProfile:
     """Estimate random detectability of ``faults`` on ``circuit``.
 
@@ -91,7 +92,12 @@ def random_testability(
     if trials < 1:
         raise ValueError("need at least one trial")
     rng = random.Random(seed)
-    sim = simulator_factory(circuit, list(faults))
+    factory, backend = coerce_simulator_factory(
+        simulator_factory, sim_backend, "random_testability")
+    if factory is not None:
+        sim = factory(circuit, list(faults))
+    else:
+        sim = make_backend(circuit, list(faults), backend)
     profile = RandomTestabilityProfile(
         circuit_name=circuit.name,
         sequence_length=sequence_length,

@@ -25,7 +25,7 @@ from ..circuit.netlist import Circuit
 from ..testseq.scan_tests import ScanTest, ScanTestSet
 from ..faults.collapse import collapse_faults
 from ..faults.model import Fault
-from ..sim.fault_sim import PackedFaultSimulator
+from ..sim.backend import make_backend
 from .comb_view import comb_view, view_fault
 from .podem import ABORTED, DETECTED, UNTESTABLE, Podem
 from .scan_sim import scan_test_detections
@@ -88,7 +88,7 @@ class CombScanATPG:
         """One PODEM call per yet-undetected fault, with fault dropping by
         conventional scan-test simulation after every new test."""
         result = CombScanATPGResult(test_set=ScanTestSet(self.circuit))
-        sim = PackedFaultSimulator(self.circuit, self.faults)
+        sim = make_backend(self.circuit, self.faults)
         undetected = set(self.faults)
         for fault in self.faults:
             if fault not in undetected:

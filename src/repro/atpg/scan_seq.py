@@ -39,7 +39,7 @@ from ..testseq.scan_tests import ScanTest, ScanTestSet
 from ..faults.collapse import collapse_faults
 from ..faults.model import Fault
 from ..obs import ledger
-from ..sim.fault_sim import PackedFaultSimulator
+from ..sim.backend import make_backend
 from .comb_view import comb_view, view_fault
 from .podem import ABORTED, UNTESTABLE, Podem
 from .scan_sim import scan_test_detections, scan_test_observability
@@ -102,7 +102,7 @@ class SecondApproachATPG:
     def generate(self) -> SecondApproachResult:
         """PODEM-seeded tests, greedy extension, reverse-order compaction."""
         result = SecondApproachResult(test_set=ScanTestSet(self.circuit))
-        sim = PackedFaultSimulator(self.circuit, self.faults)
+        sim = make_backend(self.circuit, self.faults)
         undetected_mask = sim.fault_mask
         position_of = {f: i + 1 for i, f in enumerate(self.faults)}
 

@@ -35,7 +35,7 @@ from ..circuit.netlist import Circuit
 from ..faults.model import Fault
 from ..obs import context as obs
 from ..obs import ledger
-from ..sim.fault_sim import PackedFaultSimulator
+from ..sim.backend import SimBackend, coerce_simulator_factory, make_backend
 from ..testseq.sequences import TestSequence
 
 
@@ -91,7 +91,7 @@ class PropagationTrace:
 #: single-fault simulator (already holding the search start state is NOT
 #: guaranteed; hooks must reload from ``trace.start_states``) and returns
 #: a full detecting subsequence, or None.
-CompletionHook = Callable[[PropagationTrace, PackedFaultSimulator], Optional[List[Tuple[int, ...]]]]
+CompletionHook = Callable[[PropagationTrace, SimBackend], Optional[List[Tuple[int, ...]]]]
 
 
 @dataclass
@@ -125,7 +125,8 @@ class SequentialATPG:
         config: Optional[SeqATPGConfig] = None,
         completion_hook: Optional[CompletionHook] = None,
         targets: Optional[Sequence[Fault]] = None,
-        simulator_factory=PackedFaultSimulator,
+        simulator_factory=None,
+        sim_backend: Optional[str] = None,
     ):
         self.circuit = circuit
         self.faults = list(faults)
@@ -139,11 +140,25 @@ class SequentialATPG:
         if unknown:
             raise ValueError(f"targets outside the fault universe: "
                              f"{sorted(map(str, unknown))[:4]}")
-        #: Builds packed simulators; swap in PackedTransitionSimulator to
-        #: generate for the transition (at-speed) fault model.
-        self.simulator_factory = simulator_factory
+        #: Builds simulators; swap in PackedTransitionSimulator to
+        #: generate for the transition (at-speed) fault model.  ``None``
+        #: routes through :func:`repro.sim.make_backend` with
+        #: ``sim_backend`` (``auto`` picks the vector kernel for the
+        #: global multi-fault simulator and packed for the single-fault
+        #: search minis, where kernel setup would dominate).
+        factory, backend = coerce_simulator_factory(
+            simulator_factory, sim_backend, "SequentialATPG")
+        self.simulator_factory = factory
+        self.sim_backend = backend
         self._rng = random.Random(self.config.seed)
         self._num_inputs = circuit.num_inputs
+
+    def _make_sim(self, faults: Sequence[Fault]):
+        """A simulator over ``faults``: the custom factory when one was
+        given, otherwise backend selection sized to the fault list."""
+        if self.simulator_factory is not None:
+            return self.simulator_factory(self.circuit, list(faults))
+        return make_backend(self.circuit, list(faults), self.sim_backend)
 
     # -- public entry ---------------------------------------------------------
 
@@ -154,7 +169,7 @@ class SequentialATPG:
         result = SeqATPGResult(
             sequence=TestSequence.for_circuit(self.circuit, []),
         )
-        sim = self.simulator_factory(self.circuit, self.faults)
+        sim = self._make_sim(self.faults)
         sim.reset()
 
         if config.initial_random_vectors:
@@ -257,7 +272,7 @@ class SequentialATPG:
             return sim
         if len(sim.faults) < (1 + self.config.repack_factor) * len(undetected):
             return sim
-        packed = self.simulator_factory(self.circuit, undetected)
+        packed = self._make_sim(undetected)
         packed.reset()
         want_ledger = ledger.enabled()
         for t, vector in enumerate(sequence):
@@ -283,7 +298,7 @@ class SequentialATPG:
         good_state = global_sim.machine_state(0)
         fault_position = global_sim.faults.index(fault) + 1
         fault_state = global_sim.machine_state(fault_position)
-        mini = self.simulator_factory(self.circuit, [fault])
+        mini = self._make_sim([fault])
 
         best_trace: Optional[PropagationTrace] = None
         for _restart in range(config.restarts):

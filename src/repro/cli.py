@@ -96,6 +96,7 @@ def _flow_config(args: argparse.Namespace, **overrides) -> FlowConfig:
         checkpoint_interval=args.checkpoint_interval,
         jobs=args.jobs,
         cache_dir=_cache_dir(args),
+        sim_backend=getattr(args, "sim_backend", None),
         **overrides,
     )
 
@@ -431,6 +432,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="persist stage results to the content-addressed store "
              "under DIR and replay them on warm runs (bare --cache = "
              "$REPRO_CACHE or .repro-cache)")
+    flow_group.add_argument(
+        "--sim-backend", choices=["auto", "packed", "vector"], default=None,
+        help="fault-simulation backend (default: $REPRO_SIM_BACKEND or "
+             "auto; backends are bit-identical — auto picks the "
+             "vectorized kernel when numpy and a C compiler are "
+             "available, else the packed reference)")
     sub = parser.add_subparsers(dest="command", required=True)
 
     gen = sub.add_parser("generate", parents=[telemetry, flowopts],

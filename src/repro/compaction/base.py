@@ -34,7 +34,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..circuit.netlist import Circuit
 from ..faults.model import Fault
-from ..sim.fault_sim import PackedFaultSimulator
+from ..sim.backend import coerce_simulator_factory
 from ..sim.session import SimSession
 
 
@@ -44,22 +44,35 @@ class CompactionOracle:
     ``checkpoint_interval`` and ``incremental`` tune the underlying
     :class:`SimSession`; ``incremental=False`` restarts every query from
     cycle 0 (the baseline the perf guards measure against).
+    ``sim_backend`` names the simulation backend (``"auto"`` resolves by
+    availability; every standard backend is bit-identical, so this knob
+    never changes result bits); ``simulator_factory`` overrides it with
+    a custom API-compatible factory.
     """
 
     def __init__(self, circuit: Circuit, faults: Sequence[Fault],
-                 simulator_factory=PackedFaultSimulator,
+                 simulator_factory=None,
                  checkpoint_interval: int = 4,
                  incremental: bool = True,
                  jobs: int = 1,
-                 store=None):
+                 store=None,
+                 sim_backend: Optional[str] = None):
         self.circuit = circuit
         self.faults = list(faults)
-        self._factory = simulator_factory
+        factory, backend = coerce_simulator_factory(
+            simulator_factory, sim_backend, "CompactionOracle")
+        #: True when simulation runs on a standard (stuck-at, bit-exact)
+        #: backend rather than a custom factory — the gate for both the
+        #: result cache and the parallel engine below.
+        self._standard = factory is None
+        self._factory = factory
+        self._backend = backend
         self.session = SimSession(
             circuit,
             self.faults,
             checkpoint_interval=checkpoint_interval,
-            simulator_factory=simulator_factory,
+            simulator_factory=factory,
+            sim_backend=backend,
             incremental=incremental,
         )
         self._position = {f: i + 1 for i, f in enumerate(self.faults)}
@@ -71,9 +84,9 @@ class CompactionOracle:
         # content-addressed store when one is attached; custom simulator
         # factories (test doubles, other fault models) stay uncached —
         # their results are not keyed by the stuck-at fault identity
-        # alone.
-        self._store = store if simulator_factory is PackedFaultSimulator \
-            else None
+        # alone.  Standard backends are interchangeable bit-for-bit, so
+        # cached results are backend-independent.
+        self._store = store if self._standard else None
         self._stages = None
 
     # -- mask helpers -----------------------------------------------------
@@ -134,7 +147,7 @@ class CompactionOracle:
         ``None`` means: use the serial session.  Custom simulator
         factories (test doubles, instrumented sims) and dropped-fault
         states always stay serial."""
-        if self.jobs <= 1 or self._factory is not PackedFaultSimulator:
+        if self.jobs <= 1 or not self._standard:
             return None
         if self.session.dropped_mask != 0:
             return None
@@ -144,6 +157,7 @@ class CompactionOracle:
             self._parallel = ParallelFaultSim(
                 self.circuit, self.faults, self.jobs,
                 checkpoint_interval=self._checkpoint_interval,
+                sim_backend=self.session.sim_backend,
             )
         if self._parallel.effective_jobs(num_vectors) <= 1:
             return None
@@ -214,7 +228,13 @@ class CompactionOracle:
         """A raw (non-incremental) simulator for the legacy token-based
         checkpoint API; built on first use."""
         if self._raw_sim is None:
-            self._raw_sim = self._factory(self.circuit, self.faults)
+            if self._factory is not None:
+                self._raw_sim = self._factory(self.circuit, self.faults)
+            else:
+                from ..sim.backend import make_backend
+
+                self._raw_sim = make_backend(
+                    self.circuit, self.faults, self.session.sim_backend)
         return self._raw_sim
 
     def reset_checkpoint(self) -> Tuple:

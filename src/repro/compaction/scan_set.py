@@ -24,7 +24,7 @@ from ..atpg.scan_sim import scan_test_detections
 from ..circuit.netlist import Circuit
 from ..testseq.scan_tests import ScanTestSet
 from ..faults.model import Fault
-from ..sim.fault_sim import PackedFaultSimulator
+from ..sim.backend import make_backend
 from ..sim.session import SimSession
 
 
@@ -38,7 +38,7 @@ def reverse_order_compact(
     Returns the compacted set (original relative order preserved) and the
     fault -> kept-test-index detection map.
     """
-    sim = PackedFaultSimulator(circuit, faults)
+    sim = make_backend(circuit, faults)
     undetected = sim.fault_mask
     keep: List[int] = []
     detections: Dict[int, int] = {}  # original index -> mask newly detected

@@ -65,6 +65,13 @@ class FlowConfig:
     #: serial; ``1`` forces serial.  Results are bit-identical at every
     #: value.
     jobs: int = 0
+    #: Fault-simulation backend: ``"auto"`` (pick the vectorized kernel
+    #: when it is available and would win, else the packed reference),
+    #: ``"packed"``, or ``"vector"``.  ``None`` defers to the
+    #: ``REPRO_SIM_BACKEND`` environment variable, defaulting to
+    #: ``auto``.  Backends are bit-identical — like ``jobs``, this knob
+    #: cannot change result bits (see :mod:`repro.sim.backend`).
+    sim_backend: Optional[str] = None
     #: Root directory of the content-addressed result store (see
     #: :mod:`repro.cache`).  ``None`` defers to the ``REPRO_CACHE``
     #: environment variable; empty/unset both means caching off.  Like
@@ -87,6 +94,10 @@ class FlowConfig:
             raise ValueError("num_chains must be >= 1")
         if self.jobs < 0:
             raise ValueError("jobs must be >= 0 (0 = REPRO_JOBS/serial)")
+        if self.sim_backend is not None:
+            from ..sim.backend import resolve_backend_name
+
+            resolve_backend_name(self.sim_backend)  # raises on bad names
 
     def replace(self, **changes: Any) -> "FlowConfig":
         """A copy with ``changes`` applied (the config is frozen)."""
@@ -102,6 +113,13 @@ class FlowConfig:
         from ..parallel.plan import resolve_jobs
 
         return resolve_jobs(self.jobs)
+
+    def effective_sim_backend(self) -> str:
+        """``sim_backend`` with the ``None -> REPRO_SIM_BACKEND -> auto``
+        rule applied (see :func:`repro.sim.backend.resolve_backend_name`)."""
+        from ..sim.backend import resolve_backend_name
+
+        return resolve_backend_name(self.sim_backend)
 
     def effective_cache_dir(self):
         """``cache_dir`` with the ``None -> REPRO_CACHE -> off`` rule

@@ -151,6 +151,7 @@ def generation_flow(
                     config=cfg.atpg_config(),
                     use_scan_knowledge=cfg.use_scan_knowledge,
                     use_justification=cfg.use_justification,
+                    sim_backend=cfg.sim_backend,
                 ).generate()
                 stages.save_generation_atpg(cfg, faults, atpg)
         result = GenerationFlowResult(
@@ -395,4 +396,5 @@ def _make_oracle(circuit: Circuit, faults, cfg: FlowConfig, store):
         incremental=cfg.incremental,
         jobs=cfg.effective_jobs(),
         store=store,
+        sim_backend=cfg.sim_backend,
     )

@@ -48,7 +48,7 @@ from ..circuit.scan import ScanCircuit
 from ..faults.collapse import collapse_faults
 from ..faults.model import Fault
 from ..obs import ledger
-from ..sim.fault_sim import PackedFaultSimulator
+from ..sim.backend import SimBackend
 from ..testseq.sequences import TestSequence
 
 
@@ -113,6 +113,7 @@ class ScanAwareATPG:
         verify_retries: int = 3,
         podem_backtrack_limit: int = 400,
         simulator_factory=None,
+        sim_backend: Optional[str] = None,
     ):
         self.scan_circuit = scan_circuit
         circuit = scan_circuit.circuit
@@ -123,11 +124,12 @@ class ScanAwareATPG:
         self.use_justification = use_justification
         self.use_dominance = use_dominance
         self.verify_retries = verify_retries
-        #: None = stuck-at (PackedFaultSimulator).  Pass
+        #: None = stuck-at via backend selection (``sim_backend``).  Pass
         #: PackedTransitionSimulator (with TransitionFault targets and
         #: use_justification=False — PODEM is stuck-at-only) for at-speed
         #: transition-fault generation.
         self.simulator_factory = simulator_factory
+        self.sim_backend = sim_backend
         self._rng = random.Random(self.config.seed ^ 0x5CA9)
         self._input_index = {net: i for i, net in enumerate(circuit.inputs)}
         self._sel_idx = self._input_index[scan_circuit.scan_select]
@@ -159,7 +161,8 @@ class ScanAwareATPG:
             factory_kwargs["simulator_factory"] = self.simulator_factory
         engine = SequentialATPG(
             self.circuit, self.faults, config=self.config,
-            completion_hook=hook, targets=targets, **factory_kwargs,
+            completion_hook=hook, targets=targets,
+            sim_backend=self.sim_backend, **factory_kwargs,
         )
         base = engine.generate()
         confirmed = set(base.hook_detected)
@@ -176,7 +179,7 @@ class ScanAwareATPG:
     # -- completion hook -------------------------------------------------------
 
     def _complete(
-        self, trace: PropagationTrace, mini: PackedFaultSimulator
+        self, trace: PropagationTrace, mini: SimBackend
     ) -> Optional[List[Tuple[int, ...]]]:
         """Try the paper's two functional-knowledge completions in order."""
         if trace.flops:

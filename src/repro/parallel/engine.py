@@ -36,7 +36,12 @@ from ..circuit.netlist import Circuit
 from ..faults.model import Fault
 from ..obs import context as obs
 from ..obs.journal import merge_journals
-from ..sim.fault_sim import FaultSimResult, PackedFaultSimulator
+from ..sim.backend import (
+    SimBackend,
+    make_backend,
+    resolve_concrete_backend,
+)
+from ..sim.fault_sim import FaultSimResult
 from ..sim.logic_sim import vector_from_string
 from .merge import merge_counters, merge_shard_results
 from .plan import (
@@ -135,10 +140,15 @@ class ParallelFaultSim:
         timeout: Optional[float] = None,
         max_retries: int = 2,
         start_method: Optional[str] = None,
+        sim_backend: Optional[str] = None,
     ):
         self.circuit = circuit
         self.faults = list(faults)
         self.jobs = resolve_jobs(jobs)
+        #: Concrete backend name pinned for this engine's lifetime —
+        #: the serial fallback and every pool worker use the same one.
+        self.sim_backend = resolve_concrete_backend(
+            sim_backend, len(self.faults))
         if strategy == "auto":
             strategy = "cost" if costs is not None else "round_robin"
         self.strategy = strategy
@@ -148,7 +158,7 @@ class ParallelFaultSim:
         self.timeout = timeout
         self.max_retries = max_retries
         self.start_method = start_method
-        self._serial: Optional[PackedFaultSimulator] = None
+        self._serial: Optional[SimBackend] = None
         #: The persistent worker pool (built on first parallel run) and
         #: the (trace base, trace id) it was initialized with — a
         #: telemetry change forces a rebuild so workers journal to the
@@ -197,7 +207,8 @@ class ParallelFaultSim:
         if jobs <= 1:
             obs.incr("parallel.serial_runs")
             if self._serial is None:
-                self._serial = PackedFaultSimulator(self.circuit, self.faults)
+                self._serial = make_backend(
+                    self.circuit, self.faults, self.sim_backend)
             return self._serial.run(
                 list(vecs), stop_when_all_detected=stop_when_all_detected)
         return self._run_parallel(vecs, jobs, stop_when_all_detected)
@@ -229,6 +240,7 @@ class ParallelFaultSim:
                 circuit=_strip_caches(self.circuit),
                 faults=tuple(self.faults),
                 checkpoint_interval=self.checkpoint_interval,
+                sim_backend=self.sim_backend,
                 trace_base=trace_base,
                 trace_id=trace_id,
                 heartbeat_interval=resolve_heartbeat_interval(),
@@ -348,13 +360,18 @@ class _SerialFallback:
 
 
 def _strip_caches(circuit: Circuit) -> Circuit:
-    """The circuit as shipped to workers: the cached packed topology is
-    dropped from the pickle (workers recompile it once, cheaply) so the
-    payload stays small."""
-    cached = circuit.__dict__.pop("_packed_topology", None)
+    """The circuit as shipped to workers: the cached packed/levelized
+    topologies are dropped from the pickle (workers recompile them
+    once, cheaply) so the payload stays small — and the levelized one
+    holds numpy arrays that must not cross into no-numpy workers."""
+    cached = {
+        attr: circuit.__dict__.pop(attr, None)
+        for attr in ("_packed_topology", "_vector_topology")
+    }
     try:
         shipped = copy.copy(circuit)
     finally:
-        if cached is not None:
-            circuit._packed_topology = cached
+        for attr, value in cached.items():
+            if value is not None:
+                setattr(circuit, attr, value)
     return shipped

@@ -89,6 +89,11 @@ class WorkerContext:
     circuit: Circuit
     faults: Tuple[Fault, ...]
     checkpoint_interval: int = 4
+    #: Concrete simulation backend name the engine pinned (``None`` =
+    #: let each worker's session resolve ``auto`` itself).  Passing the
+    #: parent's choice keeps the whole pool on one backend; results are
+    #: bit-identical either way.
+    sim_backend: Optional[str] = None
     #: Parent journal path (or None); workers derive their own journal
     #: path from it per the ``<base>.w<pid>`` convention.
     trace_base: Optional[str] = None
@@ -274,6 +279,7 @@ def run_shard(
     session = SimSession(
         context.circuit, faults,
         checkpoint_interval=context.checkpoint_interval,
+        sim_backend=context.sim_backend,
     )
     span_id = ""
     span_path = f"shard.{task.shard_index}"

@@ -1,7 +1,22 @@
 """Simulation substrate: scalar reference logic simulation, the
-bit-parallel sequential stuck-at fault simulator, and the incremental
-checkpoint/fault-drop session engine layered on top of it."""
+pluggable fault-simulation backends (the packed bit-parallel reference
+oracle and the vectorized levelized kernel) behind the
+:class:`SimBackend` protocol, and the incremental checkpoint/fault-drop
+session engine layered on top of them.
 
+The vector kernel itself (:mod:`repro.sim.kernel`) is imported lazily —
+it needs numpy, and nothing here pulls it in until a caller selects the
+``vector`` backend."""
+
+from .backend import (
+    BACKEND_AUTO,
+    BACKEND_NAMES,
+    BACKEND_PACKED,
+    BACKEND_VECTOR,
+    SimBackend,
+    make_backend,
+    resolve_backend_name,
+)
 from .fault_sim import (
     CompiledTopology,
     FaultSimResult,
@@ -25,4 +40,11 @@ __all__ = [
     "PackedPatternSimulator",
     "PackedTransitionSimulator",
     "SimSession",
+    "SimBackend",
+    "make_backend",
+    "resolve_backend_name",
+    "BACKEND_AUTO",
+    "BACKEND_PACKED",
+    "BACKEND_VECTOR",
+    "BACKEND_NAMES",
 ]

@@ -55,6 +55,32 @@ _KIND_CODE = {
 }
 
 
+def compile_injection_masks(faults: Sequence[Fault], index):
+    """Build injection masks for a packed fault list: stem masks by net,
+    branch masks by (consumer, pin).  Each mask is
+    ``(force_ones, force_zeros)`` with bit ``i + 1`` owned by
+    ``faults[i]``.  Shared by every backend so the machine/bit
+    convention cannot drift between implementations."""
+    stem: Dict[str, List[int]] = {}
+    branch: Dict[Tuple[str, int], List[int]] = {}
+    for position, fault in enumerate(faults):
+        bit = 1 << (position + 1)
+        if fault.kind == STEM:
+            if fault.net not in index:
+                raise ValueError(f"fault on unknown net: {fault}")
+            entry = stem.setdefault(fault.net, [0, 0])
+        elif fault.kind == BRANCH:
+            entry = branch.setdefault((fault.consumer, fault.pin), [0, 0])
+        else:  # pragma: no cover - Fault validates kinds
+            raise ValueError(f"bad fault kind {fault.kind!r}")
+        # entry[0] accumulates force-to-1 bits (SA1 faults),
+        # entry[1] accumulates force-to-0 bits (SA0 faults).
+        entry[fault.stuck_at ^ 1] |= bit
+    stem_masks = {net: (m[0], m[1]) for net, m in stem.items()}
+    branch_masks = {key: (m[0], m[1]) for key, m in branch.items()}
+    return stem_masks, branch_masks
+
+
 def iter_fault_positions(mask: int):
     """Yield 0-based fault-list indices for the set machine bits of a
     detection mask (bit 0, the fault-free machine, is never yielded)."""
@@ -178,6 +204,9 @@ class PackedFaultSimulator:
     :meth:`reset` between sequences.
     """
 
+    #: Name this class is registered under in :mod:`repro.sim.backend`.
+    backend_name = "packed"
+
     def __init__(self, circuit: Circuit, faults: Sequence[Fault]):
         self.circuit = circuit
         self.faults = list(faults)
@@ -225,26 +254,7 @@ class PackedFaultSimulator:
     # -- construction ----------------------------------------------------------
 
     def _compile_masks(self, index):
-        """Build injection masks: stem masks by net, branch masks by
-        (consumer, pin).  Each mask is ``(force_ones, force_zeros)``."""
-        stem: Dict[str, List[int]] = {}
-        branch: Dict[Tuple[str, int], List[int]] = {}
-        for position, fault in enumerate(self.faults):
-            bit = 1 << (position + 1)
-            if fault.kind == STEM:
-                if fault.net not in index:
-                    raise ValueError(f"fault on unknown net: {fault}")
-                entry = stem.setdefault(fault.net, [0, 0])
-            elif fault.kind == BRANCH:
-                entry = branch.setdefault((fault.consumer, fault.pin), [0, 0])
-            else:  # pragma: no cover - Fault validates kinds
-                raise ValueError(f"bad fault kind {fault.kind!r}")
-            # entry[0] accumulates force-to-1 bits (SA1 faults),
-            # entry[1] accumulates force-to-0 bits (SA0 faults).
-            entry[fault.stuck_at ^ 1] |= bit
-        stem_masks = {net: (m[0], m[1]) for net, m in stem.items()}
-        branch_masks = {key: (m[0], m[1]) for key, m in branch.items()}
-        return stem_masks, branch_masks
+        return compile_injection_masks(self.faults, index)
 
     # -- state -----------------------------------------------------------------
 

@@ -45,7 +45,12 @@ from ..circuit.netlist import Circuit
 from ..faults.model import Fault
 from ..obs import context as obs
 from ..obs import ledger
-from .fault_sim import PackedFaultSimulator
+from .backend import (
+    backend_class,
+    coerce_simulator_factory,
+    make_backend,
+    resolve_concrete_backend,
+)
 from .logic_sim import vector_from_string
 
 
@@ -86,11 +91,21 @@ class SimSession:
         Snapshot the packed state every this many cycles (also at the
         end of each query).  Smaller means finer resume granularity but
         more snapshot overhead.
+    sim_backend:
+        Backend name resolved through
+        :func:`~repro.sim.backend.resolve_concrete_backend` —
+        ``"auto"`` (default), ``"packed"``, ``"vector"`` or ``None``
+        (defer to ``REPRO_SIM_BACKEND``).  Resolved to a concrete
+        backend *once*, at construction: fault-dropping repacks rebuild
+        the same backend, because checkpoint state tokens are remapped
+        in the backend's own token format and must never switch formats
+        mid-session.
     simulator_factory:
-        ``factory(circuit, faults)`` building the packed simulator; the
-        default is the stuck-at :class:`PackedFaultSimulator`, and the
-        transition simulator is API-compatible (except ``initial_state``
-        queries, which need ``load_state``).
+        A custom ``factory(circuit, faults)`` overriding backend
+        selection (the transition simulator is API-compatible, except
+        ``initial_state`` queries, which need ``load_state``).  Passing
+        :class:`PackedFaultSimulator` explicitly is the deprecated
+        legacy spelling of ``sim_backend="packed"``.
     incremental:
         When ``False``, every query restarts from cycle 0 and no state
         is snapshotted — the restart baseline used by the perf guards.
@@ -102,7 +117,8 @@ class SimSession:
         faults: Sequence[Fault],
         *,
         checkpoint_interval: int = 4,
-        simulator_factory=PackedFaultSimulator,
+        simulator_factory=None,
+        sim_backend: Optional[str] = None,
         incremental: bool = True,
     ):
         if checkpoint_interval < 1:
@@ -111,13 +127,23 @@ class SimSession:
         self.faults = list(faults)
         self.checkpoint_interval = checkpoint_interval
         self.incremental = incremental
-        self._factory = simulator_factory
+        factory, backend = coerce_simulator_factory(
+            simulator_factory, sim_backend, "SimSession")
+        if factory is None:
+            #: Concrete backend name pinned for the session's lifetime
+            #: (None with a custom factory).
+            self.sim_backend = resolve_concrete_backend(
+                backend, len(self.faults))
+            self._factory = backend_class(self.sim_backend)
+            self._sim = make_backend(circuit, self.faults, self.sim_backend)
+        else:
+            self.sim_backend = None
+            self._factory = factory
+            self._sim = factory(circuit, self.faults)
         self._position = {f: i for i, f in enumerate(self.faults)}
 
         #: external mask with one bit per fault (bit 0 clear).
         self.fault_mask = ((1 << (len(self.faults) + 1)) - 1) & ~1
-
-        self._sim = simulator_factory(circuit, self.faults)
         # Internal machine j+1 simulates faults[_live_positions[j]].
         self._live_positions: List[int] = list(range(len(self.faults)))
         self._identity = True  # internal packing == external convention
