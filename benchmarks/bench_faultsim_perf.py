@@ -261,11 +261,16 @@ def main(argv=None):
         print("vector backend unavailable (needs numpy + a C compiler); "
               "this gate requires it")
         return 2
+    from conftest import record_bench
+
+    started = time.perf_counter()
     with obs.session() as telemetry:
         with obs.span("bench_faultsim"):
             num_faults, results, seconds = run_backend_comparison()
         speedup = seconds["packed"] / seconds["vector"]
         telemetry.set_gauge("faultsim.bench.speedup", round(speedup, 2))
+    record_bench(telemetry, "faultsim", "s1423-class",
+                 time.perf_counter() - started, backend="vector")
     detected = len(results["packed"].detection_time)
     print(f"s1423-class: {num_faults} collapsed faults, 32 cycles, "
           f"detected {detected}/{num_faults}")

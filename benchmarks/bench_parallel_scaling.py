@@ -126,8 +126,13 @@ def main(argv=None):
                     "write the metrics artifact")
     parser.add_argument("--metrics-out", metavar="FILE", required=True)
     args = parser.parse_args(argv)
+    from conftest import record_bench
+
+    started = time.perf_counter()
     with obs.session() as telemetry:
         faults, results, seconds = run()
+    record_bench(telemetry, "parallel_scaling", CIRCUIT,
+                 time.perf_counter() - started, jobs=max(JOB_COUNTS))
     check_identical(results)
     print("\n".join(report_lines(faults, results, seconds)))
     obs.write_metrics_json(args.metrics_out, telemetry,

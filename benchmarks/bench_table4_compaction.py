@@ -80,8 +80,15 @@ def main(argv=None):
                     "write the metrics artifact")
     parser.add_argument("--metrics-out", metavar="FILE", required=True)
     args = parser.parse_args(argv)
+    import time
+
+    from conftest import record_bench
+
+    started = time.perf_counter()
     with obs.session() as telemetry:
         _sc, _faults, generated, restored, omitted = run()
+    record_bench(telemetry, "table4", "s27",
+                 time.perf_counter() - started)
     raw = generated.sequence
     print(f"raw {len(raw)} -> restoration {len(restored.sequence)} "
           f"-> omission {len(omitted.sequence)} vectors")

@@ -41,3 +41,40 @@ def emit(report_dir: Path, name: str, text: str) -> None:
     print()
     print(text)
     (report_dir / f"{name}.txt").write_text(text + "\n")
+
+
+def record_bench(telemetry, bench: str, circuit_name: str,
+                 wall_seconds: float, backend: str = "packed",
+                 jobs: int = 1):
+    """Append this bench session to the ambient run index
+    (``REPRO_RUN_INDEX``), when one is configured.
+
+    Bench runs group by bench name rather than by netlist + flow-config
+    fingerprints — the benches drive the engines directly, so the flow
+    fingerprints do not apply.  Like every run-history operation this is
+    strictly best-effort: a broken index must never fail a bench."""
+    try:
+        from repro.cache.fingerprint import config_fingerprint
+        from repro.obs.history import (
+            RunIndex,
+            build_run_record,
+            resolve_run_index,
+        )
+
+        path = resolve_run_index()
+        if path is None:
+            return None
+        record = build_run_record(
+            circuit_name=circuit_name,
+            circuit_fp=config_fingerprint("bench-circuit",
+                                          circuit=circuit_name),
+            config_fp=config_fingerprint("bench", bench=bench),
+            flow=f"bench:{bench}",
+            wall_seconds=wall_seconds,
+            backend=backend,
+            jobs=jobs,
+            telemetry=telemetry,
+        )
+        return RunIndex(path).append(record)
+    except Exception:
+        return None

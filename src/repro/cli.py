@@ -11,9 +11,11 @@ Subcommands::
     repro-atpg export    <circuit> <out.vcd|out.stil> [--seed N]
     repro-atpg explain-fault  <circuit> <fault> [--seed N]
     repro-atpg explain-vector <circuit> [index] [--seed N]
-    repro-atpg diff-metrics <old.json> <new.json> [--threshold PAT=PCT ...]
+    repro-atpg diff-metrics <old.json|runs:ID> <new.json|runs:ID> [--threshold PAT=PCT ...]
     repro-atpg watch     <journal> [--once | --interval S] [--top N]
     repro-atpg export-trace <journal> <out.json>
+    repro-atpg runs      {list,show,compare,trend,gc} [...]
+    repro-atpg metrics-export <metrics.json|runs:ID> [--textfile FILE]
     repro-atpg cache     {stats,clear} [dir]
     repro-atpg info      <circuit>
     repro-atpg list
@@ -52,6 +54,22 @@ default, single-shot with ``--once``.  ``export-trace`` converts a
 journal into Chrome trace-event / Perfetto JSON.  Both are read-only
 consumers of the journal files; the running process stays the single
 writer.
+
+Run history: ``--run-index [DB]`` on the flow commands appends a
+versioned run record (fingerprints, metrics snapshot, journal summary,
+platform/git rev) to a SQLite run index (bare flag = ``$REPRO_RUN_INDEX``
+or ``.repro-runs.sqlite``) and implies a telemetry session so records
+are rich.  ``runs list/show`` browse the index, ``runs compare``
+diffs any two records (zero drift expected on deterministic counters),
+``runs trend`` computes median/MAD statistics over the last N
+same-fingerprint runs and — with ``--assert`` — becomes a statistical
+regression gate (deterministic drift fails; wall-clock outliers are
+flagged but never fatal), ``runs gc --keep N`` prunes old records.
+``diff-metrics`` and ``metrics-export`` accept ``runs:<id>`` /
+``runs:latest`` wherever a metrics JSON path is expected;
+``metrics-export`` renders any artifact or index record as
+Prometheus/OpenMetrics text (``--textfile`` installs it atomically for
+node_exporter's textfile collector).
 """
 
 from __future__ import annotations
@@ -89,6 +107,35 @@ def _cache_dir(args: argparse.Namespace) -> Optional[str]:
     return raw
 
 
+def _run_index_arg(args: argparse.Namespace) -> Optional[str]:
+    """Resolve ``--run-index [DB]`` to a FlowConfig ``run_index``.
+
+    Absent flag -> ``None`` (``REPRO_RUN_INDEX`` may still turn history
+    on); bare ``--run-index`` -> the env var or the default database;
+    ``--run-index DB`` -> DB.
+    """
+    import os
+
+    from .obs.history import DEFAULT_RUN_INDEX, RUN_INDEX_ENV
+
+    raw = getattr(args, "run_index", None)
+    if raw is None:
+        return None
+    if raw == "":
+        return os.environ.get(RUN_INDEX_ENV) or DEFAULT_RUN_INDEX
+    return raw
+
+
+def _runs_index_path(args: argparse.Namespace) -> Path:
+    """The index database the ``runs``/``metrics-export``/
+    ``diff-metrics`` read paths operate on: the explicit flag, the
+    environment, or the default database."""
+    from .obs.history import DEFAULT_RUN_INDEX, resolve_run_index
+
+    resolved = resolve_run_index(getattr(args, "run_index", None) or None)
+    return resolved if resolved is not None else Path(DEFAULT_RUN_INDEX)
+
+
 def _flow_config(args: argparse.Namespace, **overrides) -> FlowConfig:
     """Build the FlowConfig shared by the flow-running subcommands."""
     return FlowConfig(
@@ -97,6 +144,7 @@ def _flow_config(args: argparse.Namespace, **overrides) -> FlowConfig:
         jobs=args.jobs,
         cache_dir=_cache_dir(args),
         sim_backend=getattr(args, "sim_backend", None),
+        run_index=_run_index_arg(args),
         **overrides,
     )
 
@@ -184,10 +232,20 @@ def _cmd_explain_vector(args: argparse.Namespace) -> int:
     return 0
 
 
+def _load_metrics_spec(spec: str, args: argparse.Namespace):
+    """A metrics artifact from a JSON path or a ``runs:<id>`` /
+    ``runs:latest`` run-index reference."""
+    from .obs.history import is_runs_ref, load_runs_ref
+
+    if is_runs_ref(spec):
+        return load_runs_ref(spec, _runs_index_path(args))
+    return obs.load_metrics(spec)
+
+
 def _cmd_diff_metrics(args: argparse.Namespace) -> int:
     try:
-        old = obs.load_metrics(args.old)
-        new = obs.load_metrics(args.new)
+        old = _load_metrics_spec(args.old, args)
+        new = _load_metrics_spec(args.new, args)
         thresholds = [obs.parse_threshold(spec) for spec in args.threshold]
     except ValueError as exc:
         print(f"diff-metrics: {exc}")
@@ -205,6 +263,144 @@ def _cmd_diff_metrics(args: argparse.Namespace) -> int:
     if thresholds:
         print(f"\nall thresholds satisfied "
               f"({len(thresholds)} pattern(s) checked)")
+    return 0
+
+
+def _cmd_runs(args: argparse.Namespace) -> int:
+    import json
+    import time as time_mod
+
+    from .obs.history import (
+        DETERMINISTIC_GATES,
+        RunIndex,
+        compare_records,
+        compute_trend,
+        deterministic_drift,
+        render_trend,
+    )
+    from .reporting.tables import format_table
+
+    path = _runs_index_path(args)
+    index = RunIndex(path)
+
+    if args.action == "list":
+        entries = index.list(limit=args.last, circuit=args.circuit)
+        if not entries:
+            print(f"runs: no records in {path}")
+            return 0
+        rows = []
+        for e in entries:
+            when = time_mod.strftime("%Y-%m-%d %H:%M:%S",
+                                     time_mod.localtime(e.created))
+            coverage = e.record.get("journal", {}).get("coverage", {})
+            cov = max(coverage.values()) if coverage else None
+            rows.append([
+                e.id, e.circuit, e.flow, e.backend or "-", e.jobs,
+                f"{e.wall_seconds:.3f}",
+                f"{cov:.2f}" if cov is not None else "-",
+                e.git_rev or "-", e.config_fp[:10], when,
+            ])
+        print(format_table(
+            ["id", "circuit", "flow", "backend", "jobs", "wall_s",
+             "cov%", "rev", "config_fp", "created"],
+            rows, title=f"run index {path} ({index.count()} records)",
+            align_left=(1, 2, 3, 7, 8, 9)))
+        return 0
+
+    if args.action == "show":
+        entry = index.get(args.id)
+        if entry is None:
+            print(f"runs: no record {args.id} in {path}")
+            return 1
+        print(json.dumps(entry.record, indent=2, sort_keys=True))
+        return 0
+
+    if args.action == "compare":
+        old, new = index.get(args.id), index.get(args.other)
+        if old is None or new is None:
+            missing = args.id if old is None else args.other
+            print(f"runs: no record {missing} in {path}")
+            return 1
+        rows = compare_records(old.record, new.record)
+        print(f"runs {old.id} -> {new.id} "
+              f"({old.circuit} {old.flow} vs {new.circuit} {new.flow})")
+        print(obs.render_diff(rows, top=args.top, only_changed=not args.all))
+        same_fp = old.fingerprint == new.fingerprint
+        if not same_fp:
+            print("\nnote: records have different (circuit, config) "
+                  "fingerprints; deterministic drift is not expected "
+                  "to be zero")
+        drift = deterministic_drift(rows, args.gate or DETERMINISTIC_GATES)
+        if drift:
+            print(f"\n{len(drift)} deterministic counter(s) drifted:")
+            for row in drift:
+                print(f"  DRIFT {row.name}: {row.old:g} -> {row.new:g}")
+            if getattr(args, "assert_", False) and same_fp:
+                return 1
+        else:
+            print("\nzero drift on deterministic counters")
+        return 0
+
+    if args.action == "trend":
+        latest = index.latest(circuit=args.circuit)
+        if latest is None:
+            where = f" for circuit {args.circuit}" if args.circuit else ""
+            print(f"runs: no records{where} in {path}")
+            return 1 if getattr(args, "assert_", False) else 0
+        window = index.same_fingerprint(
+            latest.circuit_fp, latest.config_fp, limit=args.last)
+        if len(window) < 2:
+            print(f"runs: only {len(window)} same-fingerprint record(s) "
+                  f"for {latest.circuit} — need 2+ for a trend")
+            return 0
+        report = compute_trend(
+            window, gates=args.gate or DETERMINISTIC_GATES,
+            z_threshold=args.z_threshold)
+        print(render_trend(report, top=args.top))
+        if getattr(args, "assert_", False) and not report.passed:
+            print(f"\nTREND GATE FAILED: {len(report.drift)} "
+                  f"deterministic counter(s) drifted across "
+                  f"{report.window} same-fingerprint runs")
+            return 1
+        if getattr(args, "assert_", False):
+            print("\ntrend gate passed (deterministic counters stable; "
+                  f"{len(report.outliers)} wall-clock outlier(s) "
+                  "flagged, non-fatal)")
+        return 0
+
+    if args.action == "gc":
+        before = index.count()
+        deleted = index.gc(keep=args.keep)
+        print(f"runs gc: deleted {deleted} of {before} records "
+              f"(kept the newest {max(1, args.keep)} per fingerprint) "
+              f"in {path}")
+        return 0
+
+    print(f"runs: unknown action {args.action!r}")
+    return 2
+
+
+def _cmd_metrics_export(args: argparse.Namespace) -> int:
+    from .obs.openmetrics import render_openmetrics, write_textfile
+
+    labels = {}
+    for spec in args.label:
+        key, sep, value = spec.partition("=")
+        if not sep or not key:
+            print(f"metrics-export: --label {spec!r} is not KEY=VALUE")
+            return 2
+        labels[key] = value
+    try:
+        artifact = _load_metrics_spec(args.source, args)
+        text = render_openmetrics(artifact, labels=labels)
+    except ValueError as exc:
+        print(f"metrics-export: {exc}")
+        return 2
+    if args.textfile:
+        write_textfile(args.textfile, text)
+        print(f"OpenMetrics text written to {args.textfile}")
+    else:
+        sys.stdout.write(text)
     return 0
 
 
@@ -438,6 +634,11 @@ def build_parser() -> argparse.ArgumentParser:
              "auto; backends are bit-identical — auto picks the "
              "vectorized kernel when numpy and a C compiler are "
              "available, else the packed reference)")
+    flow_group.add_argument(
+        "--run-index", nargs="?", const="", default=None, metavar="DB",
+        help="append a run record to the SQLite run index DB when the "
+             "flow finishes (bare --run-index = $REPRO_RUN_INDEX or "
+             ".repro-runs.sqlite; implies a telemetry session)")
     sub = parser.add_subparsers(dest="command", required=True)
 
     gen = sub.add_parser("generate", parents=[telemetry, flowopts],
@@ -484,8 +685,14 @@ def build_parser() -> argparse.ArgumentParser:
     diff = sub.add_parser("diff-metrics",
                           help="compare two --metrics-out artifacts and "
                                "gate on regression thresholds")
-    diff.add_argument("old", help="baseline artifact (e.g. BENCH_table4.json)")
-    diff.add_argument("new", help="freshly produced artifact")
+    diff.add_argument("old", help="baseline artifact: a metrics JSON path "
+                                  "or a run-index reference "
+                                  "(runs:<id> / runs:latest)")
+    diff.add_argument("new", help="freshly produced artifact (same forms)")
+    diff.add_argument("--run-index", default=None, metavar="DB",
+                      help="index database runs:<id> references resolve "
+                           "against (default: $REPRO_RUN_INDEX or "
+                           ".repro-runs.sqlite)")
     diff.add_argument("--threshold", action="append", default=[],
                       metavar="PATTERN=PCT",
                       help="fail (exit 1) when a metric matching the "
@@ -520,6 +727,97 @@ def build_parser() -> argparse.ArgumentParser:
     ext.add_argument("output", help="trace JSON destination "
                                     "(open in ui.perfetto.dev)")
     ext.set_defaults(func=_cmd_export_trace)
+
+    runs = sub.add_parser("runs",
+                          help="browse, compare and trend the run-history "
+                               "index written by --run-index")
+    runs_common = argparse.ArgumentParser(add_help=False)
+    runs_common.add_argument(
+        "--run-index", default=None, metavar="DB",
+        help="index database (default: $REPRO_RUN_INDEX or "
+             ".repro-runs.sqlite)")
+    runs_sub = runs.add_subparsers(dest="action", required=True)
+
+    runs_list = runs_sub.add_parser("list", parents=[runs_common],
+                                    help="newest records first")
+    runs_list.add_argument("--circuit", default=None,
+                           help="only records for this circuit name")
+    runs_list.add_argument("--last", type=int, default=20, metavar="N",
+                           help="records shown (default 20)")
+
+    runs_show = runs_sub.add_parser("show", parents=[runs_common],
+                                    help="dump one record as JSON")
+    runs_show.add_argument("id", type=int, help="record id (see runs list)")
+
+    runs_cmp = runs_sub.add_parser(
+        "compare", parents=[runs_common],
+        help="diff any two index records (generalizes "
+             "diff-metrics to run records)")
+    runs_cmp.add_argument("id", type=int, help="baseline record id")
+    runs_cmp.add_argument("other", type=int, help="candidate record id")
+    runs_cmp.add_argument("--top", type=int, default=None, metavar="N",
+                          help="show only the N largest movers")
+    runs_cmp.add_argument("--all", action="store_true",
+                          help="also list unchanged metrics")
+    runs_cmp.add_argument("--gate", action="append", default=[],
+                          metavar="PATTERN",
+                          help="override the deterministic-counter gate "
+                               "patterns; repeatable")
+    runs_cmp.add_argument("--assert", dest="assert_", action="store_true",
+                          help="exit 1 when same-fingerprint records "
+                               "drift on deterministic counters")
+
+    runs_trend = runs_sub.add_parser(
+        "trend", parents=[runs_common],
+        help="median/MAD trend over the last N same-fingerprint "
+             "runs; --assert turns it into a regression gate")
+    runs_trend.add_argument("--circuit", default=None,
+                            help="anchor on the latest record for this "
+                                 "circuit (default: latest overall)")
+    runs_trend.add_argument("--last", type=int, default=20, metavar="N",
+                            help="window size (default 20)")
+    runs_trend.add_argument("--top", type=int, default=None, metavar="N",
+                            help="rows shown per section")
+    runs_trend.add_argument("--gate", action="append", default=[],
+                            metavar="PATTERN",
+                            help="override the deterministic-counter "
+                                 "gate patterns; repeatable")
+    runs_trend.add_argument("--z-threshold", type=float, default=None,
+                            metavar="Z",
+                            help="modified z-score above which a "
+                                 "wall-clock value is an outlier "
+                                 "(default 3.5)")
+    runs_trend.add_argument("--assert", dest="assert_", action="store_true",
+                            help="exit 1 on deterministic drift "
+                                 "(wall-clock outliers are flagged, "
+                                 "never fatal)")
+
+    runs_gc = runs_sub.add_parser(
+        "gc", parents=[runs_common],
+        help="prune old records, keeping the newest N per "
+             "(circuit, config) fingerprint")
+    runs_gc.add_argument("--keep", type=int, default=5, metavar="N",
+                         help="records kept per fingerprint (default 5; "
+                              "the newest is never deleted)")
+    runs.set_defaults(func=_cmd_runs)
+
+    mex = sub.add_parser("metrics-export",
+                         help="render a metrics artifact or run-index "
+                              "record as Prometheus/OpenMetrics text")
+    mex.add_argument("source", help="metrics JSON path or run-index "
+                                    "reference (runs:<id> / runs:latest)")
+    mex.add_argument("--textfile", default=None, metavar="FILE",
+                     help="write atomically to FILE (node_exporter "
+                          "textfile-collector friendly) instead of stdout")
+    mex.add_argument("--label", action="append", default=[],
+                     metavar="KEY=VALUE",
+                     help="extra label attached to every sample; "
+                          "repeatable")
+    mex.add_argument("--run-index", default=None, metavar="DB",
+                     help="index database runs:<id> references resolve "
+                          "against (default: $REPRO_RUN_INDEX or "
+                          ".repro-runs.sqlite)")
+    mex.set_defaults(func=_cmd_metrics_export)
 
     table = sub.add_parser("table", parents=[telemetry],
                            help="regenerate a paper table")
@@ -597,9 +895,17 @@ def main(argv: Optional[list] = None) -> int:
     trace = getattr(args, "trace", None)
     metrics_out = getattr(args, "metrics_out", None)
     wants_ledger = args.command in ("explain-fault", "explain-vector")
+    # A run index on a flow command implies telemetry so the appended
+    # record carries a full metrics snapshot and journal summary.
+    wants_history = False
+    if args.command in ("generate", "translate", "profile", "export",
+                        "explain-fault", "explain-vector"):
+        from .obs.history import resolve_run_index
+
+        wants_history = resolve_run_index(_run_index_arg(args)) is not None
     wants_telemetry = (
         trace is not None or metrics_out is not None
-        or args.command == "profile" or wants_ledger
+        or args.command == "profile" or wants_ledger or wants_history
     )
     if not wants_telemetry:
         return args.func(args)

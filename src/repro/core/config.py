@@ -78,6 +78,13 @@ class FlowConfig:
     #: ``jobs``/``checkpoint_interval``, this knob cannot change result
     #: bits — warm runs are bit-identical to cold ones.
     cache_dir: Optional[str] = None
+    #: Run-history index database (see :mod:`repro.obs.history`):
+    #: every finished flow appends one run record there.  ``None``
+    #: defers to the ``REPRO_RUN_INDEX`` environment variable;
+    #: empty/unset both means history off.  Another speed/observability
+    #: knob that cannot change result bits — the index is
+    #: corruption-tolerant and never a point of failure.
+    run_index: Optional[str] = None
     #: Sequential ATPG engine configuration; ``None`` derives one from
     #: ``seed`` (generation flow only).
     atpg: Optional[SeqATPGConfig] = None
@@ -138,6 +145,14 @@ class FlowConfig:
         from ..cache.store import ResultStore
 
         return ResultStore(root)
+
+    def effective_run_index(self):
+        """``run_index`` with the ``None -> REPRO_RUN_INDEX -> off``
+        rule applied (see :func:`repro.obs.history.resolve_run_index`);
+        a :class:`pathlib.Path` or ``None``."""
+        from ..obs.history import resolve_run_index
+
+        return resolve_run_index(self.run_index)
 
 
 #: legacy keyword -> FlowConfig field

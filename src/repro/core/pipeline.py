@@ -30,6 +30,7 @@ from ..faults.collapse import collapse_faults
 from ..faults.model import Fault
 from ..obs import context as obs
 from ..obs import ledger
+from ..obs.history import maybe_test_sleep, record_flow_run
 from .config import (
     GENERATION_LEGACY,
     TRANSLATION_LEGACY,
@@ -193,7 +194,12 @@ def generation_flow(
                 final_len=len(result.omitted.sequence.vectors)
                 if result.omitted else len(result.raw.vectors),
             )
+        # Wall-clock-only test hook ($REPRO_TEST_SLEEP): inflates the
+        # flow's elapsed time without touching a single counter, so the
+        # trend gate's outlier/drift separation is testable end to end.
+        maybe_test_sleep()
     result.elapsed_seconds = root.duration
+    record_flow_run(cfg, circuit, "generation", result.elapsed_seconds)
     return result
 
 
@@ -288,7 +294,9 @@ def translation_flow(
         if cfg.compact:
             _compact_into(result, scan_circuit.circuit, translated, faults,
                           cfg, store=store)
+        maybe_test_sleep()
     result.elapsed_seconds = root.duration
+    record_flow_run(cfg, circuit, "translation", result.elapsed_seconds)
     return result
 
 

@@ -24,7 +24,15 @@ Three cooperating pieces (``docs/OBSERVABILITY.md`` has the full guide):
   and ``progress.*`` events, and the renderer behind
   ``repro-atpg watch``; plus **trace identity and export**
   (:mod:`~repro.obs.trace`): run-scoped trace ids, span ids, and
-  Chrome/Perfetto trace-event JSON via ``repro-atpg export-trace``.
+  Chrome/Perfetto trace-event JSON via ``repro-atpg export-trace``;
+* a **run-history index** (:mod:`~repro.obs.history`): every flow run
+  with ``--run-index`` appends a versioned record (fingerprints,
+  metrics snapshot, journal summary, platform/git rev) to a
+  corruption-tolerant SQLite database; ``repro-atpg runs`` browses,
+  compares and trend-gates the fleet of records;
+* an **OpenMetrics surface** (:mod:`~repro.obs.openmetrics`): render
+  any metrics artifact or index record as Prometheus/OpenMetrics text
+  via ``repro-atpg metrics-export``.
 
 Telemetry is **off by default and free when off**: every hook is a
 global load plus an ``is None`` test until a session is opened with
@@ -68,11 +76,27 @@ from .diff import (
     parse_threshold,
     render_diff,
 )
+from .history import (
+    RUN_RECORD_SCHEMA,
+    RunEntry,
+    RunIndex,
+    TrendReport,
+    TrendRow,
+    build_run_record,
+    compare_records,
+    compute_trend,
+    load_runs_ref,
+    record_to_artifact,
+    render_trend,
+    resolve_run_index,
+    run_config_fingerprint,
+)
 from .journal import MERGE_SRC, SCHEMA as JOURNAL_SCHEMA
 from .journal import (
     RunJournal,
     merge_journals,
     read_journal,
+    rotated_journal_path,
     worker_journal_path,
 )
 from .ledger import (
@@ -94,6 +118,11 @@ from .live import (
     render_watch,
 )
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .openmetrics import (
+    parse_openmetrics,
+    render_openmetrics,
+    write_textfile,
+)
 from .report import (
     METRICS_SCHEMA,
     metrics_artifact,
@@ -146,9 +175,26 @@ __all__ = [
     "RunJournal",
     "read_journal",
     "merge_journals",
+    "rotated_journal_path",
     "worker_journal_path",
     "JOURNAL_SCHEMA",
     "MERGE_SRC",
+    "RUN_RECORD_SCHEMA",
+    "RunEntry",
+    "RunIndex",
+    "TrendReport",
+    "TrendRow",
+    "build_run_record",
+    "compare_records",
+    "compute_trend",
+    "load_runs_ref",
+    "record_to_artifact",
+    "render_trend",
+    "resolve_run_index",
+    "run_config_fingerprint",
+    "parse_openmetrics",
+    "render_openmetrics",
+    "write_textfile",
     "METRICS_SCHEMA",
     "metrics_artifact",
     "render_profile",

@@ -28,7 +28,7 @@ from typing import Dict, Iterator, List, Optional, Tuple, Union
 from . import ledger as _ledger
 from .journal import RunJournal
 from .metrics import MetricsRegistry
-from .spans import SpanLog
+from .spans import SpanLog, resolve_track_rss
 from .trace import new_trace_id
 
 
@@ -45,9 +45,10 @@ class Telemetry:
     def __init__(self, journal: Optional[RunJournal] = None,
                  metrics: Optional[MetricsRegistry] = None,
                  ledger: Optional["_ledger.FaultLedger"] = None,
-                 trace_id: Optional[str] = None):
+                 trace_id: Optional[str] = None,
+                 track_rss: Optional[bool] = None):
         self.metrics = metrics or MetricsRegistry()
-        self.spans = SpanLog()
+        self.spans = SpanLog(track_rss=resolve_track_rss(track_rss))
         self.journal = journal
         self.ledger = ledger
         self.trace_id = trace_id or (journal.trace_id if journal else None) \
@@ -124,6 +125,12 @@ class _SpanContext:
         telemetry = self._telemetry
         record = telemetry.spans.close()
         self.duration = record.duration
+        if record.rss_kb:
+            # The per-path high-water mark as a gauge, so peak memory
+            # rides along in metrics artifacts, run records and the
+            # OpenMetrics export like any other metric.
+            telemetry.set_gauge(f"{record.path}.peak_rss_kb",
+                                record.rss_kb)
         telemetry.event("span.close", path=record.path,
                         duration=round(record.duration, 6),
                         span=record.span_id, parent=record.parent_id)
@@ -180,7 +187,8 @@ def deactivate(previous: Optional[Telemetry] = None) -> None:
 def session(trace: Union[str, None] = None,
             metrics: Optional[MetricsRegistry] = None,
             ledger: bool = False,
-            trace_id: Optional[str] = None) -> Iterator[Telemetry]:
+            trace_id: Optional[str] = None,
+            track_rss: Optional[bool] = None) -> Iterator[Telemetry]:
     """Run a block with telemetry on.
 
     ``trace`` names a JSONL journal file to stream events to; without it
@@ -188,12 +196,15 @@ def session(trace: Union[str, None] = None,
     a :class:`repro.obs.ledger.FaultLedger` recording the per-fault
     lifecycle (available as ``telemetry.ledger``).  ``trace_id`` joins
     an existing cross-process trace instead of minting a new one.
+    ``track_rss`` samples peak RSS at every span close (default: the
+    ``REPRO_TRACK_RSS`` environment switch).
     """
     trace_id = trace_id or new_trace_id()
     journal = RunJournal(trace, trace_id=trace_id) if trace else None
     fault_ledger = _ledger.FaultLedger() if ledger else None
     telemetry = Telemetry(journal=journal, metrics=metrics,
-                          ledger=fault_ledger, trace_id=trace_id)
+                          ledger=fault_ledger, trace_id=trace_id,
+                          track_rss=track_rss)
     previous = activate(telemetry)
     try:
         yield telemetry

@@ -22,15 +22,17 @@ def metrics_artifact(telemetry: Telemetry,
                      meta: Optional[Dict] = None) -> Dict:
     """Plain-data dump of one session: metadata, every metric, and the
     per-phase span aggregation.  ``json.dumps``-able as is."""
-    spans = [
-        {
+    spans = []
+    for path, entry in telemetry.spans.aggregate().items():
+        span = {
             "path": path,
             "count": entry["count"],
             "total_seconds": round(entry["total_seconds"], 6),
             "depth": entry["depth"],
         }
-        for path, entry in telemetry.spans.aggregate().items()
-    ]
+        if entry.get("peak_rss_kb"):
+            span["peak_rss_kb"] = entry["peak_rss_kb"]
+        spans.append(span)
     snapshot = telemetry.metrics.snapshot()
     return {
         "schema": METRICS_SCHEMA,
@@ -77,18 +79,29 @@ def render_profile(telemetry: Telemetry, title: Optional[str] = None,
     if top is not None and top >= 0 and len(ordered) > top:
         dropped = len(ordered) - top
         ordered = ordered[:top]
+    # Peak-RSS column only when the session sampled it (REPRO_TRACK_RSS
+    # / session(track_rss=True)) — the default table stays unchanged.
+    with_rss = any(entry.get("peak_rss_kb") for _p, entry in ordered)
     span_rows: List[List[object]] = []
     for path, entry in ordered:
         leaf = path.rsplit("/", 1)[-1]
         label = "  " * entry["depth"] + leaf
         seconds = entry["total_seconds"]
         share = 100.0 * seconds / total if total else 0.0
-        span_rows.append([label, entry["count"], seconds, share])
+        row: List[object] = [label, entry["count"], seconds, share]
+        if with_rss:
+            peak = entry.get("peak_rss_kb", 0)
+            row.append(f"{peak / 1024:.1f}" if peak else "-")
+        span_rows.append(row)
     if dropped:
-        span_rows.append([f"... {dropped} more phases", "", "", ""])
+        span_rows.append([f"... {dropped} more phases", "", "", ""]
+                         + ([""] if with_rss else []))
+    headers = ["phase", "calls", "seconds", "share%"]
+    if with_rss:
+        headers.append("peakMB")
     sections = [
         format_table(
-            ["phase", "calls", "seconds", "share%"],
+            headers,
             span_rows,
             title=title or "per-phase time breakdown",
         )

@@ -323,6 +323,32 @@ class ParallelFaultSim:
             workers=len(workers),
             detected=len(merged.detection_time),
         )
+        # Per-run shard summary: last-run gauges (picked up by run
+        # records / metrics-export) plus one journal event with the
+        # spread, so load imbalance is visible without parsing worker
+        # journals.
+        elapsed = sorted(s.elapsed_seconds for s in shard_results)
+        obs.set_gauge("parallel.last.workers", len(workers))
+        obs.set_gauge("parallel.last.shards", len(shard_results))
+        if elapsed:
+            obs.set_gauge("parallel.last.shard_seconds_max",
+                          round(elapsed[-1], 6))
+            obs.set_gauge("parallel.last.shard_seconds_mean",
+                          round(sum(elapsed) / len(elapsed), 6))
+        obs.event(
+            "parallel.summary",
+            shards=len(shard_results),
+            workers=len(workers),
+            jobs=jobs,
+            strategy=plan.strategy,
+            shard_seconds_min=round(elapsed[0], 6) if elapsed else 0,
+            shard_seconds_max=round(elapsed[-1], 6) if elapsed else 0,
+            shard_seconds_total=round(sum(elapsed), 6),
+            cycles=sum(s.counters.get("cycles", 0)
+                       for s in shard_results),
+            detected=len(merged.detection_time),
+            faults=len(self.faults),
+        )
         journals = sorted({
             s.journal_path for s in shard_results if s.journal_path
         })
