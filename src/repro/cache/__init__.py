@@ -30,9 +30,14 @@ from .store import (
     CACHE_ENV,
     DEFAULT_CACHE_DIR,
     ENVELOPE_SCHEMA,
+    NAMESPACE_FILE,
+    NAMESPACE_SCHEMA,
     CacheStats,
+    LayeredResultStore,
     ResultStore,
+    open_store,
     resolve_cache_dir,
+    write_namespace,
 )
 
 __all__ = [
@@ -40,9 +45,14 @@ __all__ = [
     "CACHE_SCHEMA",
     "DEFAULT_CACHE_DIR",
     "ENVELOPE_SCHEMA",
+    "NAMESPACE_FILE",
+    "NAMESPACE_SCHEMA",
     "CacheStats",
+    "LayeredResultStore",
     "ResultStore",
     "StageCache",
+    "open_store",
+    "write_namespace",
     "circuit_fingerprint",
     "config_fingerprint",
     "detection_config_fp",

@@ -60,6 +60,14 @@ TALLY_FILE = "hit-tally.json"
 #: Pending tally increments buffered before a flush to disk.
 _TALLY_FLUSH_EVERY = 64
 
+#: Marker file that turns a store root into a *namespace layer*: a
+#: tenant-private overlay whose reads fall through to a shared base
+#: store (see :class:`LayeredResultStore` / :func:`open_store`).
+NAMESPACE_FILE = "namespace.json"
+
+#: Schema tag inside :data:`NAMESPACE_FILE`.
+NAMESPACE_SCHEMA = "repro.cache.namespace/1"
+
 
 def resolve_cache_dir(cache_dir: Union[str, Path, None] = None
                       ) -> Optional[Path]:
@@ -118,11 +126,23 @@ class ResultStore:
     def get(self, stage: str, circuit_fp: str, config_fp: str):
         """The stored payload for this address, or ``None`` on any kind
         of miss (absent, corrupt, stale schema, fingerprint mismatch)."""
+        payload, size, reason = self._read(stage, circuit_fp, config_fp)
+        if reason is not None:
+            return self._miss(stage, reason)
+        self._hit(stage, circuit_fp, size)
+        return payload
+
+    def _read(self, stage: str, circuit_fp: str, config_fp: str):
+        """Telemetry-free entry read: ``(payload, bytes, None)`` on a
+        valid entry, ``(None, 0, reason)`` on any kind of miss.  The
+        layered store composes lookups out of this so a tenant-layer
+        miss that falls through to a base-layer hit counts as exactly
+        one lookup, not two."""
         path = self._entry_path(stage, circuit_fp, config_fp)
         try:
             raw = path.read_bytes()
         except OSError:
-            return self._miss(stage, "absent")
+            return None, 0, "absent"
         try:
             envelope = json.loads(raw.decode("utf-8"))
             schema = envelope["schema"]
@@ -131,17 +151,19 @@ class ResultStore:
                      or envelope["circuit"] != circuit_fp
                      or envelope["config"] != config_fp)
         except (ValueError, KeyError, TypeError, UnicodeDecodeError):
-            return self._miss(stage, "corrupt")
+            return None, 0, "corrupt"
         if schema != ENVELOPE_SCHEMA:
-            return self._miss(stage, "schema")
+            return None, 0, "schema"
         if stale:
-            return self._miss(stage, "stale")
+            return None, 0, "stale"
+        return payload, len(raw), None
+
+    def _hit(self, stage: str, circuit_fp: str, size: int):
         obs.incr("cache.hit")
         obs.incr(f"cache.hit.{stage}")
         obs.event("cache.hit", stage=stage, circuit=circuit_fp[:12],
-                  bytes=len(raw))
+                  bytes=size)
         self._tally(stage, hit=True)
-        return payload
 
     def _miss(self, stage: str, reason: str):
         obs.incr("cache.miss")
@@ -326,3 +348,93 @@ class ResultStore:
                     pass
         obs.incr("cache.clears")
         return removed
+
+
+class LayeredResultStore(ResultStore):
+    """A tenant-private overlay with read-through to a shared base.
+
+    Lookups consult the overlay first and fall through to the base
+    store on a miss; writes land in the overlay only, so one tenant's
+    results never pollute another's namespace while everything already
+    in the shared layer is served to all tenants for free.  A
+    fall-through hit counts as a single ``cache.hit`` (plus a
+    ``cache.hit.base`` marker); both layers missing counts one miss.
+
+    Exactly one level of layering is supported: the base is always a
+    plain :class:`ResultStore`, never another overlay — namespace
+    chains would make invalidation unreasonable.
+    """
+
+    def __init__(self, root: Union[str, Path],
+                 base: Union[str, Path, ResultStore]):
+        super().__init__(root)
+        self.base = (base if isinstance(base, ResultStore)
+                     else ResultStore(base))
+
+    def get(self, stage: str, circuit_fp: str, config_fp: str):
+        payload, size, reason = self._read(stage, circuit_fp, config_fp)
+        if reason is None:
+            self._hit(stage, circuit_fp, size)
+            return payload
+        payload, size, base_reason = self.base._read(
+            stage, circuit_fp, config_fp)
+        if base_reason is None:
+            obs.incr("cache.hit.base")
+            self._hit(stage, circuit_fp, size)
+            return payload
+        # Report the overlay's reason unless it was merely absent there
+        # (the interesting diagnosis is then the base layer's).
+        return self._miss(stage,
+                          reason if reason != "absent" else base_reason)
+
+    def entries_for_circuit(self, circuit_fp: str
+                            ) -> Iterator[Tuple[str, Dict]]:
+        """Overlay entries first, then the base layer's.  Consumers
+        (phase-weight seeding) treat these as advisory hints, so the
+        occasional stage duplicated across layers is harmless."""
+        yield from super().entries_for_circuit(circuit_fp)
+        yield from self.base.entries_for_circuit(circuit_fp)
+
+
+def write_namespace(root: Union[str, Path],
+                    base: Union[str, Path]) -> Path:
+    """Mark ``root`` as a namespace layer over ``base`` by writing its
+    :data:`NAMESPACE_FILE` pointer (atomic, idempotent).  Returns the
+    pointer path."""
+    root = Path(root)
+    root.mkdir(parents=True, exist_ok=True)
+    path = root / NAMESPACE_FILE
+    blob = json.dumps({"schema": NAMESPACE_SCHEMA, "base": str(base)},
+                      separators=(",", ":"), sort_keys=True)
+    tmp = path.with_name(f"{path.name}.tmp.{os.getpid()}")
+    tmp.write_text(blob, encoding="utf-8")
+    os.replace(tmp, path)
+    return path
+
+
+def open_store(root: Union[str, Path]) -> ResultStore:
+    """Open a store root, honouring a namespace pointer when present.
+
+    A root containing a valid :data:`NAMESPACE_FILE` opens as a
+    :class:`LayeredResultStore` over the base it names (relative base
+    paths resolve against the root); anything else — no pointer,
+    unreadable pointer, wrong schema — opens as a plain
+    :class:`ResultStore`, so a damaged pointer degrades to an isolated
+    cache rather than an error.  Every internal call site
+    (``FlowConfig.result_store``) routes through this factory, which is
+    what lets the serve daemon hand workers a tenant directory and have
+    the whole stage-cache machinery become tenant-aware transparently.
+    """
+    root = Path(root)
+    try:
+        raw = json.loads((root / NAMESPACE_FILE)
+                         .read_text(encoding="utf-8"))
+        base = raw["base"] if raw["schema"] == NAMESPACE_SCHEMA else None
+    except (OSError, ValueError, KeyError, TypeError):
+        base = None
+    if not base or not isinstance(base, str):
+        return ResultStore(root)
+    base_path = Path(base)
+    if not base_path.is_absolute():
+        base_path = root / base_path
+    return LayeredResultStore(root, ResultStore(base_path))

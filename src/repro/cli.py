@@ -17,6 +17,7 @@ Subcommands::
     repro-atpg runs      {list,show,compare,trend,gc} [...]
     repro-atpg metrics-export <metrics.json|runs:ID> [--textfile FILE]
     repro-atpg cache     {stats,clear} [dir]
+    repro-atpg serve     [--host H] [--port P] [--workers N] [--cache DIR]
     repro-atpg info      <circuit>
     repro-atpg list
 
@@ -70,6 +71,11 @@ flagged but never fatal), ``runs gc --keep N`` prunes old records.
 ``metrics-export`` renders any artifact or index record as
 Prometheus/OpenMetrics text (``--textfile`` installs it atomically for
 node_exporter's textfile collector).
+
+Service mode: ``serve`` starts the ATPG-as-a-service daemon (see
+:mod:`repro.serve` and ``docs/SERVICE.md``) — HTTP/JSON submissions,
+fingerprint-level dedup against in-flight and cached work, per-tenant
+fair queueing, live SSE job streams, graceful drain on SIGTERM.
 """
 
 from __future__ import annotations
@@ -580,6 +586,24 @@ def _cmd_cache(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .serve.app import ServerConfig, serve
+
+    serve(ServerConfig(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        state_dir=args.state,
+        cache_dir=args.cache,
+        run_index=args.run_index,
+        queue_depth=args.queue_depth,
+        wall_budget=args.wall_budget,
+        cycle_budget=args.cycle_budget,
+        drain_timeout=args.drain_timeout,
+    ))
+    return 0
+
+
 def _cmd_info(args: argparse.Namespace) -> int:
     circuit = _resolve_circuit(args.circuit)
     for key, value in circuit.stats().items():
@@ -872,6 +896,41 @@ def build_parser() -> argparse.ArgumentParser:
                             ".repro-cache)")
     cache.set_defaults(func=_cmd_cache)
 
+    srv = sub.add_parser("serve", parents=[telemetry],
+                         help="run the ATPG-as-a-service daemon "
+                              "(HTTP/JSON submissions, dedup, tenant "
+                              "fair queueing, SSE job streams)")
+    srv.add_argument("--host", default="127.0.0.1",
+                     help="bind address (default 127.0.0.1)")
+    srv.add_argument("--port", type=int, default=8349,
+                     help="bind port (default 8349; 0 = ephemeral)")
+    srv.add_argument("--workers", type=int, default=2, metavar="N",
+                     help="persistent worker processes / concurrent "
+                          "jobs (default 2)")
+    srv.add_argument("--cache", default=None, metavar="DIR",
+                     help="base result store shared by all tenants "
+                          "(default <state>/cache)")
+    srv.add_argument("--state", default=".repro-serve", metavar="DIR",
+                     help="job specs/journals/results directory "
+                          "(default .repro-serve)")
+    srv.add_argument("--run-index", default=None, metavar="DB",
+                     help="run-history index completed jobs append to "
+                          "(default <state>/runs.sqlite)")
+    srv.add_argument("--queue-depth", type=int, default=16, metavar="N",
+                     help="per-tenant queue depth before 429 "
+                          "back-pressure (default 16)")
+    srv.add_argument("--wall-budget", type=float, default=None,
+                     metavar="SECONDS",
+                     help="per-job wall-clock budget (default: none)")
+    srv.add_argument("--cycle-budget", type=int, default=None,
+                     metavar="CYCLES",
+                     help="per-job fault-simulation cycle budget "
+                          "(default: none)")
+    srv.add_argument("--drain-timeout", type=float, default=30.0,
+                     metavar="SECONDS",
+                     help="shutdown grace for running jobs (default 30)")
+    srv.set_defaults(func=_cmd_serve)
+
     info = sub.add_parser("info", parents=[telemetry],
                           help="print circuit statistics")
     info.add_argument("circuit")
@@ -905,7 +964,8 @@ def main(argv: Optional[list] = None) -> int:
         wants_history = resolve_run_index(_run_index_arg(args)) is not None
     wants_telemetry = (
         trace is not None or metrics_out is not None
-        or args.command == "profile" or wants_ledger or wants_history
+        or args.command in ("profile", "serve") or wants_ledger
+        or wants_history
     )
     if not wants_telemetry:
         return args.func(args)

@@ -36,11 +36,12 @@ from .plan import (
     plan_shards,
     resolve_jobs,
 )
-from .pool import ResilientPool, default_start_method
+from .pool import PoolStats, ResilientPool, default_start_method
 from .worker import ShardResult, ShardTask, WorkerContext
 
 __all__ = [
     "ParallelFaultSim",
+    "PoolStats",
     "ResilientPool",
     "ShardPlan",
     "Shard",

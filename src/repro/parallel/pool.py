@@ -37,11 +37,35 @@ import os
 import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
 from typing import Any, Callable, List, Optional, Sequence
 
 from ..obs import context as obs
 
 START_METHOD_ENV = "REPRO_PARALLEL_START_METHOD"
+
+
+@dataclass(frozen=True)
+class PoolStats:
+    """Point-in-time pool occupancy returned by
+    :meth:`ResilientPool.stats` (and exported by the serve daemon as
+    ``parallel.pool.*`` gauges).
+
+    ``workers`` counts live worker *processes*, ``busy`` the payloads
+    currently submitted to the executor, ``pending`` the payloads known
+    to the drain loop but not yet in flight (retry backlog plus any
+    serial-fallback work).  All three read plain attributes the drain
+    loop keeps current, so reads from other threads are safe and
+    lock-free — they are a snapshot, not a synchronized view.
+    """
+
+    workers: int
+    busy: int
+    pending: int
+
+    def as_dict(self) -> dict:
+        return {"workers": self.workers, "busy": self.busy,
+                "pending": self.pending}
 
 
 def default_start_method() -> str:
@@ -135,6 +159,11 @@ class ResilientPool:
         self.persistent = persistent
         self.heartbeat_fn = heartbeat_fn
         self._executor: Optional[ProcessPoolExecutor] = None
+        # Occupancy counters maintained by the drain loop; read (only)
+        # by stats().  Plain ints mutated under the GIL — good enough
+        # for a monitoring snapshot.
+        self._busy = 0
+        self._backlog = 0
 
     # -- executor lifecycle -------------------------------------------------
 
@@ -153,6 +182,18 @@ class ResilientPool:
         if self._executor is None or not self._executor._processes:
             return []
         return sorted(self._executor._processes.keys())
+
+    def stats(self) -> PoolStats:
+        """Current occupancy: live worker processes, payloads in flight,
+        payloads backlogged inside an active :meth:`run` drain loop.
+        Also publishes the three values as ``<label>.workers`` /
+        ``<label>.busy`` / ``<label>.pending`` gauges."""
+        snapshot = PoolStats(workers=len(self.worker_pids()),
+                             busy=self._busy, pending=self._backlog)
+        obs.set_gauge(f"{self.label}.workers", snapshot.workers)
+        obs.set_gauge(f"{self.label}.busy", snapshot.busy)
+        obs.set_gauge(f"{self.label}.pending", snapshot.pending)
+        return snapshot
 
     def close(self) -> None:
         """Shut the held executor down and *join* its workers; safe to
@@ -178,9 +219,11 @@ class ResilientPool:
         if not pending:
             return results
         obs.incr(f"{self.label}.runs")
+        self._backlog = len(pending)
         try:
             while pending:
                 batch, pending = pending, []
+                self._backlog = len(batch)
                 serial, submitted = [], []
                 for payload, attempt in batch:
                     if attempt > self.max_retries:
@@ -201,6 +244,8 @@ class ResilientPool:
                         (payload, attempt)
                     for payload, attempt in submitted
                 }
+                self._busy = len(futures)
+                self._backlog = 0
                 obs.incr(f"{self.label}.tasks", len(futures))
                 deadline = (time.monotonic() + self.timeout
                             if self.timeout is not None else None)
@@ -249,16 +294,20 @@ class ResilientPool:
                     if broken:
                         failed.extend(futures.values())
                         futures.clear()
+                    self._busy = len(futures)
                 if broken and self._executor is not None:
                     obs.incr(f"{self.label}.broken_pools")
                     self._executor.shutdown(wait=False, cancel_futures=True)
                     self._executor = None
                 for payload, attempt in failed:
                     pending.extend(self._requeue(payload, attempt))
+                self._backlog = len(pending)
                 if pending and failed:
                     time.sleep(self.backoff *
                                (2 ** min(attempt for _p, attempt in failed)))
         finally:
+            self._busy = 0
+            self._backlog = 0
             if not self.persistent and self._executor is not None:
                 self._executor.shutdown(wait=False, cancel_futures=True)
                 self._executor = None

@@ -1,0 +1,161 @@
+"""Blocking Python client for the serve daemon.
+
+Stdlib-only (``http.client``); one connection per call because the
+server closes connections after each response.  The client is what the
+load benchmark, the CI smoke test and the e2e suite drive — and the
+reference for anyone talking to the daemon from outside Python
+(the wire format is plain HTTP/JSON + SSE, see ``docs/SERVICE.md``).
+
+    from repro.serve.client import ServeClient
+
+    client = ServeClient("127.0.0.1", 8349, tenant="team-a")
+    job = client.submit(bench_text, config={"seed": 1}, flow="generation")
+    final = client.wait(job["job_id"])
+    print(final["result"]["coverage"])
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+from typing import Any, Dict, Iterator, Optional, Union
+
+from ..circuit.bench import write_bench
+from ..circuit.netlist import Circuit
+
+
+class ServeError(RuntimeError):
+    """A non-2xx response from the daemon."""
+
+    def __init__(self, status: int, payload: Dict):
+        super().__init__(
+            f"HTTP {status}: {payload.get('error', payload)}")
+        self.status = status
+        self.payload = payload
+
+
+class ServeClient:
+    """Thin blocking wrapper over the daemon's HTTP API."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8349, *,
+                 tenant: Optional[str] = None, timeout: float = 30.0):
+        self.host = host
+        self.port = port
+        self.tenant = tenant
+        self.timeout = timeout
+
+    # -- low-level ------------------------------------------------------
+
+    def _headers(self) -> Dict[str, str]:
+        headers = {"Content-Type": "application/json"}
+        if self.tenant:
+            headers["X-Repro-Tenant"] = self.tenant
+        return headers
+
+    def _request(self, method: str, path: str,
+                 body: Optional[Dict] = None) -> Dict:
+        conn = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout)
+        try:
+            conn.request(
+                method, path,
+                body=json.dumps(body) if body is not None else None,
+                headers=self._headers())
+            response = conn.getresponse()
+            raw = response.read()
+            try:
+                payload = json.loads(raw.decode("utf-8")) if raw else {}
+            except ValueError:
+                payload = {"error": raw.decode("utf-8", "replace")}
+            if response.status >= 400:
+                raise ServeError(response.status, payload)
+            return payload
+        finally:
+            conn.close()
+
+    # -- API ------------------------------------------------------------
+
+    def submit(self, circuit: Union[str, Circuit, Dict], *,
+               config: Optional[Dict] = None,
+               flow: str = "generation") -> Dict:
+        """Submit a job.  ``circuit`` may be ``.bench`` text, a
+        :class:`~repro.circuit.netlist.Circuit` (serialized to bench),
+        or an already-formed ``{"bench": ...}``/``{"netlist": ...}``
+        object.  Returns the admission response — check ``source``
+        for ``new`` / ``dedup`` / ``cache``."""
+        if isinstance(circuit, Circuit):
+            spec: Dict[str, Any] = {"bench": write_bench(circuit),
+                                    "name": circuit.name}
+        elif isinstance(circuit, str):
+            spec = {"bench": circuit}
+        else:
+            spec = circuit
+        body = {"circuit": spec, "flow": flow, "config": config or {}}
+        return self._request("POST", "/jobs", body)
+
+    def job(self, job_id: str) -> Dict:
+        """Current status (+ result once terminal)."""
+        return self._request("GET", f"/jobs/{job_id}")
+
+    def wait(self, job_id: str, timeout: float = 300.0,
+             poll: float = 0.1) -> Dict:
+        """Poll until the job reaches a terminal state; returns the
+        final job view.  Raises :class:`TimeoutError` on overrun."""
+        deadline = time.monotonic() + timeout
+        while True:
+            view = self.job(job_id)
+            if view.get("status") in ("done", "failed", "budget_exceeded",
+                                      "cancelled"):
+                return view
+            if time.monotonic() > deadline:
+                raise TimeoutError(
+                    f"job {job_id} still {view.get('status')!r} "
+                    f"after {timeout}s")
+            time.sleep(poll)
+
+    def events(self, job_id: str,
+               timeout: Optional[float] = None) -> Iterator[Dict]:
+        """Stream the job's SSE feed; yields
+        ``{"event": <type>, "data": <decoded JSON>}`` per frame until
+        the terminal ``end`` event (inclusive)."""
+        conn = http.client.HTTPConnection(
+            self.host, self.port,
+            timeout=timeout if timeout is not None else self.timeout)
+        try:
+            conn.request("GET", f"/jobs/{job_id}/events",
+                         headers=self._headers())
+            response = conn.getresponse()
+            if response.status >= 400:
+                raw = response.read()
+                try:
+                    payload = json.loads(raw.decode("utf-8"))
+                except ValueError:
+                    payload = {"error": raw.decode("utf-8", "replace")}
+                raise ServeError(response.status, payload)
+            event_type, data_lines = "message", []
+            for raw_line in response:
+                line = raw_line.decode("utf-8").rstrip("\r\n")
+                if line.startswith(":"):
+                    continue                      # keep-alive comment
+                if line.startswith("event:"):
+                    event_type = line[len("event:"):].strip()
+                elif line.startswith("data:"):
+                    data_lines.append(line[len("data:"):].strip())
+                elif line == "" and data_lines:
+                    try:
+                        data = json.loads("\n".join(data_lines))
+                    except ValueError:
+                        data = {"raw": "\n".join(data_lines)}
+                    yield {"event": event_type, "data": data}
+                    if event_type == "end":
+                        return
+                    event_type, data_lines = "message", []
+        finally:
+            conn.close()
+
+    def health(self) -> Dict:
+        return self._request("GET", "/healthz")
+
+    def stats(self) -> Dict:
+        return self._request("GET", "/stats")

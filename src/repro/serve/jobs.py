@@ -1,0 +1,315 @@
+"""Job canonicalization and the worker-side execution task.
+
+A submission is a JSON object::
+
+    {"circuit": {"bench": "<.bench text>"}            # or {"netlist": {...}}
+     "flow": "generation" | "translation",            # default generation
+     "config": {"seed": 1, "num_chains": 2, ...}}     # FlowConfig fields
+
+:func:`parse_submission` canonicalizes it to ``(Circuit, FlowConfig,
+flow)`` — rejecting unknown config keys and malformed circuits with
+:class:`SubmissionError` (the HTTP layer's 400) — and
+:func:`job_fingerprints` derives the **dedup key**: the PR-5 circuit
+fingerprint paired with the PR-8 run-config fingerprint.  The latter
+excludes speed knobs (``jobs``, ``checkpoint_interval``,
+``incremental``, ``cache_dir``, ``sim_backend``, ``run_index``) by
+construction, so two payloads that differ only in how fast to compute
+collapse onto one job, while any semantic knob splits the key.
+
+:func:`run_job` is the **module-level pool task** (spawn-safe, plain
+dict in / plain dict out) executed on the daemon's persistent worker
+pool.  It drops the fork-inherited telemetry session, opens its own
+(journaling to the job's ``journal.jsonl`` so ``GET /jobs/<id>/events``
+can stream it), arms the cycle/wall budget monitor, runs the flow, and
+returns a status dict — **catching every exception itself** so a failed
+job is a result, not a pool retry storm.  Budget enforcement: a daemon
+thread samples the session's ``faultsim.cycles`` counter and the wall
+clock; on breach it delivers ``SIGINT`` to its own (worker) process,
+which surfaces as ``KeyboardInterrupt`` in the flow and is reported as
+``status: "budget_exceeded"`` with a parseable journal left behind.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+import signal
+import threading
+import time
+from typing import Any, Dict, Optional, Tuple
+
+from ..cache.fingerprint import circuit_fingerprint, config_fingerprint
+from ..circuit.bench import parse_bench, write_bench
+from ..circuit.netlist import Circuit, CircuitError, FlipFlop, Gate
+from ..core.config import FlowConfig
+from ..obs import context as obs
+from ..obs.history import run_config_fingerprint
+
+#: Flow names a submission may request.
+FLOWS = ("generation", "translation")
+
+#: FlowConfig fields a submission's ``config`` object may set.  The
+#: engine-config objects (``atpg``/``baseline``) are deliberately not
+#: accepted over the wire — they are derived from ``seed`` exactly as
+#: the CLI derives them.
+CONFIG_FIELDS = frozenset({
+    "seed", "num_chains", "compact", "classify_redundant",
+    "use_scan_knowledge", "use_justification",
+    "redundancy_backtrack_limit", "max_omission_passes",
+    # speed knobs: accepted (clients may tune them) but excluded from
+    # the dedup key by run_config_fingerprint's construction; cache_dir
+    # and run_index are additionally overridden by the server.
+    "jobs", "checkpoint_interval", "incremental", "sim_backend",
+    "cache_dir", "run_index",
+})
+
+
+class SubmissionError(ValueError):
+    """A malformed submission (maps to HTTP 400)."""
+
+
+class BudgetExceeded(Exception):
+    """Raised (via SIGINT) when a job overruns its cycle/wall budget."""
+
+
+def parse_submission(payload: Any) -> Tuple[Circuit, FlowConfig, str]:
+    """Canonicalize one POST body to ``(circuit, config, flow)``."""
+    if not isinstance(payload, dict):
+        raise SubmissionError("submission must be a JSON object")
+    flow = payload.get("flow", "generation")
+    if flow not in FLOWS:
+        raise SubmissionError(
+            f"unknown flow {flow!r} (expected one of {', '.join(FLOWS)})")
+    raw_cfg = payload.get("config", {})
+    if not isinstance(raw_cfg, dict):
+        raise SubmissionError("config must be a JSON object")
+    unknown = set(raw_cfg) - CONFIG_FIELDS
+    if unknown:
+        raise SubmissionError(
+            f"unknown config field(s): {', '.join(sorted(unknown))}")
+    try:
+        cfg = FlowConfig(**raw_cfg)
+    except (TypeError, ValueError) as exc:
+        raise SubmissionError(f"bad config: {exc}")
+    circuit = _parse_circuit(payload.get("circuit"))
+    return circuit, cfg, flow
+
+
+def _parse_circuit(spec: Any) -> Circuit:
+    if not isinstance(spec, dict):
+        raise SubmissionError(
+            "submission needs a circuit object "
+            "({\"bench\": ...} or {\"netlist\": ...})")
+    bench = spec.get("bench")
+    netlist = spec.get("netlist")
+    if (bench is None) == (netlist is None):
+        raise SubmissionError(
+            "circuit must carry exactly one of 'bench' or 'netlist'")
+    try:
+        if bench is not None:
+            if not isinstance(bench, str):
+                raise SubmissionError("circuit.bench must be a string")
+            return parse_bench(bench, name=str(spec.get("name", "circuit")))
+        return _circuit_from_netlist(netlist)
+    except CircuitError as exc:
+        raise SubmissionError(f"bad circuit: {exc}")
+
+
+def _circuit_from_netlist(raw: Any) -> Circuit:
+    """Build a circuit from the JSON netlist form::
+
+        {"name": "c1", "inputs": [...], "outputs": [...],
+         "gates": [[output, kind, [inputs...]], ...],
+         "flops": [[q, d], ...]}
+    """
+    if not isinstance(raw, dict):
+        raise SubmissionError("circuit.netlist must be a JSON object")
+    try:
+        gates = [Gate(output=str(g[0]), kind=str(g[1]),
+                      inputs=tuple(str(i) for i in g[2]))
+                 for g in raw.get("gates", [])]
+        flops = [FlipFlop(q=str(f[0]), d=str(f[1]))
+                 for f in raw.get("flops", [])]
+        return Circuit(
+            name=str(raw.get("name", "circuit")),
+            inputs=[str(i) for i in raw.get("inputs", [])],
+            outputs=[str(o) for o in raw.get("outputs", [])],
+            gates=gates,
+            flops=flops,
+        )
+    except (ValueError, TypeError, IndexError, KeyError) as exc:
+        raise SubmissionError(f"bad netlist: {exc}")
+
+
+# ---------------------------------------------------------------------------
+# The dedup key
+# ---------------------------------------------------------------------------
+
+def job_fingerprints(circuit: Circuit, cfg: FlowConfig,
+                     flow: str) -> Tuple[str, str]:
+    """The canonical ``(circuit_fp, config_fp)`` identity of one job.
+
+    ``config_fp`` is :func:`repro.obs.history.run_config_fingerprint`,
+    which covers exactly the semantic knobs (and the flow name) —
+    speed knobs cannot move it.
+    """
+    return circuit_fingerprint(circuit), run_config_fingerprint(cfg, flow)
+
+
+def job_key(circuit_fp: str, config_fp: str) -> str:
+    """The single dedup key in-flight and completed work index on."""
+    return config_fingerprint("serve.job", circuit=circuit_fp,
+                              config=config_fp)
+
+
+# ---------------------------------------------------------------------------
+# Worker-side execution
+# ---------------------------------------------------------------------------
+
+class _BudgetMonitor(threading.Thread):
+    """Daemon thread enforcing the job's cycle/wall budgets.
+
+    Samples the worker session's ``faultsim.cycles`` counter and the
+    wall clock; on breach, records the reason and delivers SIGINT to
+    this worker process — the one cross-thread interruption mechanism
+    the stdlib offers that lands mid-simulation."""
+
+    def __init__(self, telemetry, wall_budget: Optional[float],
+                 cycle_budget: Optional[int], poll: float = 0.05):
+        super().__init__(name="repro-serve-budget", daemon=True)
+        self.telemetry = telemetry
+        self.wall_budget = wall_budget
+        self.cycle_budget = cycle_budget
+        self.poll = poll
+        self.breached: Optional[str] = None
+        self._stop = threading.Event()
+        self._t0 = time.monotonic()
+
+    def cancel(self) -> None:
+        self._stop.set()
+
+    def run(self) -> None:
+        while not self._stop.wait(self.poll):
+            if self.wall_budget is not None and \
+                    time.monotonic() - self._t0 > self.wall_budget:
+                self.breached = "wall"
+            elif self.cycle_budget is not None:
+                cycles = self.telemetry.metrics.snapshot()["counters"] \
+                    .get("faultsim.cycles", 0)
+                if cycles > self.cycle_budget:
+                    self.breached = "cycles"
+            if self.breached:
+                os.kill(os.getpid(), signal.SIGINT)
+                return
+
+
+def _stats_dict(stats) -> Dict:
+    return dataclasses.asdict(stats)
+
+
+def _result_payload(flow: str, result) -> Dict:
+    """The deterministic, JSON-able outcome of one flow run — the part
+    that must be bit-identical between a fresh execution, a deduped
+    attach and a cache replay."""
+    final = result.omitted.sequence if result.omitted else (
+        result.raw if flow == "generation" else result.translated)
+    payload: Dict = {
+        "flow": flow,
+        "circuit": result.circuit.name,
+        "sequences": {},
+        "final_vectors": [list(v) for v in final.vectors],
+    }
+    if flow == "generation":
+        payload["coverage"] = {
+            "fault_coverage": round(result.fault_coverage, 4),
+            "testable_coverage": round(result.testable_coverage, 4),
+            "detected": result.detected_total,
+            "faults": result.num_faults,
+            "funct": result.funct_count,
+            "proven_redundant": len(result.untestable),
+        }
+        payload["sequences"]["raw"] = _stats_dict(result.raw_stats())
+    else:
+        payload["baseline_cycles"] = result.baseline_cycles
+        payload["sequences"]["translated"] = _stats_dict(
+            result.translated_stats())
+    if result.restored is not None:
+        payload["sequences"]["restored"] = _stats_dict(
+            result.restored_stats())
+    if result.omitted is not None:
+        payload["sequences"]["omitted"] = _stats_dict(
+            result.omitted_stats())
+        if flow == "generation":
+            payload["coverage"]["extra_detected"] = result.extra_detected
+    return payload
+
+
+def run_job(payload: Dict) -> Dict:
+    """Execute one job (pool task).  Never raises: every outcome —
+    success, flow error, budget breach — is a status dict, so the pool's
+    retry/serial-fallback machinery only ever engages on genuine worker
+    crashes."""
+    start = time.perf_counter()
+    # Fork-started workers inherit the server's active session (and its
+    # journal handle); drop it — this job reports via its own journal.
+    obs.deactivate(None)
+    journal = payload.get("journal")
+    monitor: Optional[_BudgetMonitor] = None
+    outcome: Dict = {"job_id": payload.get("job_id", ""), "pid": os.getpid()}
+    try:
+        circuit, cfg, flow = parse_submission(payload["submission"])
+        overrides = {
+            key: payload[key]
+            for key in ("cache_dir", "run_index", "jobs")
+            if payload.get(key) is not None
+        }
+        if overrides:
+            cfg = cfg.replace(**overrides)
+        with obs.session(trace=journal,
+                         trace_id=payload.get("trace_id")) as telemetry:
+            monitor = _BudgetMonitor(
+                telemetry,
+                wall_budget=payload.get("wall_budget"),
+                cycle_budget=payload.get("cycle_budget"))
+            monitor.start()
+            try:
+                if flow == "generation":
+                    from ..core.pipeline import generation_flow
+                    result = generation_flow(circuit, cfg)
+                else:
+                    from ..core.pipeline import translation_flow
+                    result = translation_flow(circuit, cfg)
+            finally:
+                monitor.cancel()
+            outcome["result"] = _result_payload(flow, result)
+            outcome["metrics"] = telemetry.metrics.snapshot()["counters"]
+            outcome["status"] = "done"
+    except KeyboardInterrupt:
+        reason = monitor.breached if monitor is not None else None
+        outcome["status"] = "budget_exceeded"
+        outcome["error"] = f"budget exceeded ({reason or 'interrupted'})"
+        outcome["budget"] = {"breached": reason or "interrupted"}
+    except Exception as exc:  # noqa: BLE001 - job failures are results
+        outcome["status"] = "failed"
+        outcome["error"] = f"{type(exc).__name__}: {exc}"
+    outcome["elapsed_seconds"] = round(time.perf_counter() - start, 6)
+    return outcome
+
+
+def canonical_submission(circuit: Circuit, cfg: FlowConfig,
+                         flow: str) -> Dict:
+    """The normalized submission stored in ``spec.json`` and shipped to
+    the worker: canonical ``.bench`` text plus the explicit config
+    fields, so re-parsing in the worker reproduces the same circuit and
+    fingerprints bit-for-bit."""
+    fields = {}
+    for field in sorted(CONFIG_FIELDS):
+        value = getattr(cfg, field)
+        default = getattr(FlowConfig(), field)
+        if value != default:
+            fields[field] = value
+    return {
+        "circuit": {"bench": write_bench(circuit), "name": circuit.name},
+        "flow": flow,
+        "config": fields,
+    }

@@ -283,6 +283,36 @@ def test_pool_rejects_zero_jobs():
         ResilientPool(_double, 0)
 
 
+def test_pool_stats_idle_and_after_run():
+    from repro.parallel import PoolStats
+
+    pool = ResilientPool(_double, 2, persistent=True)
+    try:
+        idle = pool.stats()
+        assert isinstance(idle, PoolStats)
+        assert (idle.workers, idle.busy, idle.pending) == (0, 0, 0)
+        pool.run(list(range(4)))
+        after = pool.stats()
+        assert after.workers >= 1       # persistent pool keeps processes
+        assert after.busy == 0 and after.pending == 0
+        assert after.as_dict() == {"workers": after.workers, "busy": 0,
+                                   "pending": 0}
+    finally:
+        pool.close()
+    assert pool.stats().workers == 0    # close() released the executor
+
+
+def test_pool_stats_exports_gauges():
+    with obs.session() as telemetry:
+        pool = ResilientPool(_double, 2, label="parallel.pool")
+        pool.run([1, 2, 3])
+        pool.stats()
+        gauges = telemetry.metrics.snapshot()["gauges"]
+    assert "parallel.pool.workers" in gauges
+    assert "parallel.pool.busy" in gauges
+    assert "parallel.pool.pending" in gauges
+
+
 # -- journal merge (satellite: concurrency fix) -------------------------------
 
 

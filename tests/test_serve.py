@@ -1,0 +1,502 @@
+"""Tests for repro.serve — queue fairness, dedup keys, tenant stores,
+the live daemon (dedup/cache/SSE/back-pressure), budgets and graceful
+shutdown.
+
+The dedup guarantee is the heart: payloads that differ only in speed
+knobs collapse onto one job fingerprint, concurrent identical
+submissions share one execution, and cache replays are bit-identical
+to the original run.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import signal
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+from repro import obs
+from repro.cache.store import ResultStore
+from repro.circuit import s27
+from repro.circuit.bench import write_bench
+from repro.core.config import FlowConfig
+from repro.obs.journal import read_journal
+from repro.serve import (
+    DEFAULT_TENANT,
+    FairQueue,
+    QueueFull,
+    ReproServer,
+    ServeClient,
+    ServeError,
+    ServerConfig,
+    SubmissionError,
+    job_fingerprints,
+    parse_submission,
+    tenant_cache_dir,
+    tenant_store,
+    valid_tenant,
+)
+from repro.serve.jobs import canonical_submission, run_job
+from repro.serve.store import SERVE_STAGE
+
+S27_BENCH = write_bench(s27())
+
+
+def submission(config=None, flow="generation", bench=S27_BENCH):
+    return {"circuit": {"bench": bench, "name": "s27"},
+            "flow": flow, "config": config or {}}
+
+
+# -- fair queue ---------------------------------------------------------------
+
+
+def test_fair_queue_fifo_within_tenant():
+    queue = FairQueue()
+    for item in "abc":
+        queue.push("t1", item)
+    assert [queue.pop(0)[1] for _ in range(3)] == ["a", "b", "c"]
+    assert queue.pop(timeout=0.01) is None
+
+
+def test_fair_queue_round_robin_across_tenants():
+    queue = FairQueue()
+    for item in range(3):
+        queue.push("big", f"big{item}")
+    queue.push("small", "small0")
+    order = [queue.pop(0) for _ in range(4)]
+    tenants = [tenant for tenant, _ in order]
+    # The 1-deep tenant is served on the first rotation, not after the
+    # burst.
+    assert tenants.index("small") == 1
+    assert [item for tenant, item in order if tenant == "big"] == \
+        ["big0", "big1", "big2"]
+
+
+def test_fair_queue_weights():
+    queue = FairQueue()
+    queue.set_weight("heavy", 2)
+    for item in range(4):
+        queue.push("heavy", f"h{item}")
+        queue.push("light", f"l{item}")
+    tenants = [queue.pop(0)[0] for _ in range(6)]
+    # heavy takes 2 consecutive slots per turn, light takes 1.
+    assert tenants == ["heavy", "heavy", "light", "heavy", "heavy", "light"]
+
+
+def test_fair_queue_depth_limit_raises():
+    queue = FairQueue(max_depth=2)
+    queue.push("t", 1)
+    queue.push("t", 2)
+    with pytest.raises(QueueFull) as excinfo:
+        queue.push("t", 3)
+    assert excinfo.value.tenant == "t"
+    assert queue.push("other", 1) == 1  # other tenants unaffected
+
+
+def test_fair_queue_close_wakes_and_drains():
+    queue = FairQueue()
+    queue.push("t", "left-behind")
+    results = []
+    waiter = threading.Thread(
+        target=lambda: (queue.pop(0), results.append(queue.pop(None))))
+    waiter.start()
+    time.sleep(0.05)
+    queue.close()
+    waiter.join(timeout=5)
+    assert not waiter.is_alive()
+    assert results == [None]
+    with pytest.raises(RuntimeError):
+        queue.push("t", "rejected")
+    assert queue.drain() == []  # popped before close; nothing left
+
+
+def test_fair_queue_drain_returns_leftovers():
+    queue = FairQueue()
+    queue.push("a", 1)
+    queue.push("b", 2)
+    queue.close()
+    assert sorted(queue.drain()) == [("a", 1), ("b", 2)]
+    assert queue.depth() == 0
+
+
+# -- the dedup key (satellite: property test) ---------------------------------
+
+SPEED_KNOBS = {
+    "jobs": 4,
+    "checkpoint_interval": 9,
+    "incremental": False,
+    "sim_backend": "packed",
+    "cache_dir": "/tmp/some-cache",
+    "run_index": "/tmp/some-index.sqlite",
+}
+
+SEMANTIC_KNOBS = {
+    "seed": 7,
+    "num_chains": 2,
+    "compact": False,
+    "classify_redundant": False,
+    "use_scan_knowledge": False,
+    "use_justification": False,
+    "redundancy_backtrack_limit": 5,
+    "max_omission_passes": 3,
+}
+
+
+def test_speed_knobs_do_not_move_the_job_fingerprint():
+    base = job_fingerprints(*parse_submission(submission()))
+    for knob, value in SPEED_KNOBS.items():
+        varied = job_fingerprints(
+            *parse_submission(submission({knob: value})))
+        assert varied == base, f"speed knob {knob} moved the dedup key"
+
+
+def test_semantic_knobs_split_the_job_fingerprint():
+    base = job_fingerprints(*parse_submission(submission()))
+    seen = {base}
+    for knob, value in SEMANTIC_KNOBS.items():
+        varied = job_fingerprints(
+            *parse_submission(submission({knob: value})))
+        assert varied != base, f"semantic knob {knob} did not split the key"
+        seen.add(varied)
+    # Every semantic variation is distinct from every other.
+    assert len(seen) == len(SEMANTIC_KNOBS) + 1
+
+
+def test_flow_splits_the_job_fingerprint():
+    gen = job_fingerprints(*parse_submission(submission()))
+    trans = job_fingerprints(
+        *parse_submission(submission(flow="translation")))
+    assert gen != trans
+
+
+def test_netlist_form_matches_bench_form():
+    circuit = s27()
+    netlist = {
+        "name": circuit.name,
+        "inputs": list(circuit.inputs),
+        "outputs": list(circuit.outputs),
+        "gates": [[g.output, g.kind, list(g.inputs)]
+                  for g in circuit.gates],
+        "flops": [[f.q, f.d] for f in circuit.flops],
+    }
+    via_bench = job_fingerprints(*parse_submission(submission()))
+    via_netlist = job_fingerprints(*parse_submission(
+        {"circuit": {"netlist": netlist}, "config": {}}))
+    assert via_bench == via_netlist
+
+
+def test_parse_submission_rejects_garbage():
+    with pytest.raises(SubmissionError):
+        parse_submission(["not", "an", "object"])
+    with pytest.raises(SubmissionError, match="unknown config field"):
+        parse_submission(submission({"bogus_knob": 1}))
+    with pytest.raises(SubmissionError, match="unknown flow"):
+        parse_submission(submission(flow="mystery"))
+    with pytest.raises(SubmissionError, match="exactly one"):
+        parse_submission({"circuit": {}, "config": {}})
+    with pytest.raises(SubmissionError, match="bad circuit"):
+        parse_submission(submission(bench="y = NOT("))
+    with pytest.raises(SubmissionError, match="bad config"):
+        parse_submission(submission({"num_chains": 0}))
+
+
+def test_canonical_submission_round_trips():
+    circuit, cfg, flow = parse_submission(
+        submission({"seed": 3, "jobs": 2}))
+    canonical = canonical_submission(circuit, cfg, flow)
+    again = parse_submission(canonical)
+    assert job_fingerprints(*again) == job_fingerprints(circuit, cfg, flow)
+
+
+# -- tenant stores ------------------------------------------------------------
+
+
+def test_valid_tenant_names():
+    assert valid_tenant("team-a")
+    assert valid_tenant("Team.B_2")
+    for bad in ("", ".", "..", "a/b", "../etc", "tenants", "-lead",
+                "x" * 65):
+        assert not valid_tenant(bad), bad
+
+
+def test_default_tenant_uses_base_store(tmp_path):
+    assert tenant_cache_dir(tmp_path, DEFAULT_TENANT) == tmp_path
+
+
+def test_tenant_overlay_reads_through_and_isolates_writes(tmp_path):
+    base = ResultStore(tmp_path)
+    base.put(SERVE_STAGE, "c" * 64, "f" * 64, {"from": "base"})
+    overlay = tenant_store(tmp_path, "team-a")
+    # Read-through: the tenant sees what the shared layer computed.
+    assert overlay.get(SERVE_STAGE, "c" * 64, "f" * 64) == {"from": "base"}
+    # Writes stay inside the tenant's namespace.
+    overlay.put(SERVE_STAGE, "d" * 64, "e" * 64, {"from": "team-a"})
+    assert base.get(SERVE_STAGE, "d" * 64, "e" * 64) is None
+    assert overlay.get(SERVE_STAGE, "d" * 64, "e" * 64) == \
+        {"from": "team-a"}
+    other = tenant_store(tmp_path, "team-b")
+    assert other.get(SERVE_STAGE, "d" * 64, "e" * 64) is None
+
+
+# -- worker task --------------------------------------------------------------
+
+
+def test_run_job_reports_failure_as_result(tmp_path):
+    outcome = run_job({
+        "job_id": "bad", "submission": {"circuit": {"bench": "y = NOT("}},
+        "journal": str(tmp_path / "j.jsonl")})
+    assert outcome["status"] == "failed"
+    assert "bad circuit" in outcome["error"]
+
+
+def test_run_job_wall_budget_interrupts(tmp_path):
+    from repro.experiments import suite
+
+    slow = write_bench(suite.build_circuit("s298"))
+    outcome = run_job({
+        "job_id": "slow",
+        "submission": submission({"seed": 1}, bench=slow),
+        "journal": str(tmp_path / "j.jsonl"),
+        "wall_budget": 0.1,
+    })
+    assert outcome["status"] == "budget_exceeded"
+    assert outcome["budget"]["breached"] == "wall"
+    # The interrupted job still left a journal behind.
+    assert (tmp_path / "j.jsonl").exists()
+
+
+# -- live daemon --------------------------------------------------------------
+
+
+@pytest.fixture
+def live_server(tmp_path):
+    server = ReproServer(ServerConfig(
+        port=0, workers=2, state_dir=str(tmp_path / "state"),
+        drain_timeout=15.0))
+    started = threading.Event()
+
+    def run():
+        started.set()
+        asyncio.run(server.run())
+
+    with obs.session():
+        thread = threading.Thread(target=run, daemon=True)
+        thread.start()
+        deadline = time.monotonic() + 10
+        while server.port == server.config.port:
+            assert time.monotonic() < deadline, "server never bound"
+            time.sleep(0.02)
+        try:
+            yield server
+        finally:
+            server.request_shutdown()
+            thread.join(timeout=30)
+            assert not thread.is_alive()
+
+
+def test_concurrent_identical_submissions_share_one_execution(live_server):
+    client = ServeClient("127.0.0.1", live_server.port)
+    responses = []
+
+    def fire():
+        responses.append(client.submit(S27_BENCH, config={"seed": 5}))
+
+    threads = [threading.Thread(target=fire) for _ in range(4)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=30)
+    sources = sorted(r["source"] for r in responses)
+    assert sources.count("new") == 1, sources
+    assert all(s in ("new", "dedup", "cache") for s in sources)
+    job_ids = {r["job_id"] for r in responses if r["source"] != "cache"}
+    assert len(job_ids) == 1      # deduped submissions joined the job
+
+    finals = [client.wait(r["job_id"]) for r in responses]
+    assert all(f["status"] == "done" for f in finals)
+    results = [f["result"] for f in finals]
+    assert all(r == results[0] for r in results), "results not identical"
+
+    # Exactly one execution: exactly one journal across all job dirs.
+    jobs_dir = Path(live_server.config.state_dir) / "jobs"
+    journals = list(jobs_dir.glob("*/journal.jsonl"))
+    assert len(journals) == 1, journals
+
+    counters = client.stats()["metrics"]["counters"]
+    assert counters.get("serve.started", 0) == 1
+    assert counters.get("serve.deduped", 0) + \
+        counters.get("serve.cache_hits", 0) == 3
+
+
+def test_warm_cache_hit_is_bit_identical_and_fast(live_server):
+    client = ServeClient("127.0.0.1", live_server.port)
+    first = client.submit(S27_BENCH, config={"seed": 9})
+    assert first["source"] == "new"
+    done = client.wait(first["job_id"])
+
+    t0 = time.perf_counter()
+    warm = client.submit(S27_BENCH,
+                         config={"seed": 9, "checkpoint_interval": 7})
+    elapsed = time.perf_counter() - t0
+    assert warm["source"] == "cache"
+    assert warm["result"] == done["result"]
+    assert elapsed < 0.25, f"cache hit took {elapsed:.3f}s"
+    counters = client.stats()["metrics"]["counters"]
+    assert counters.get("serve.cache_hits", 0) >= 1
+    assert counters.get("cache.hit", 0) >= 1
+
+
+def test_sse_stream_follows_job_to_end(live_server):
+    client = ServeClient("127.0.0.1", live_server.port)
+    job = client.submit(S27_BENCH, config={"seed": 11})
+    frames = list(client.events(job["job_id"]))
+    kinds = [f["event"] for f in frames]
+    assert kinds[-1] == "end"
+    assert "journal" in kinds and "progress" in kinds
+    assert frames[-1]["data"]["status"] == "done"
+    assert frames[-1]["data"]["result"]["coverage"]["fault_coverage"] > 0
+    # The journal frames include the flow's phase spans.
+    spans = [f["data"] for f in frames
+             if f["event"] == "journal"
+             and f["data"].get("type") == "span.open"]
+    assert any("pipeline" in s.get("data", {}).get("path", "")
+               for s in spans)
+
+
+def test_http_error_paths(live_server):
+    client = ServeClient("127.0.0.1", live_server.port)
+    with pytest.raises(ServeError) as excinfo:
+        client.job("no-such-job")
+    assert excinfo.value.status == 404
+    bad_tenant = ServeClient("127.0.0.1", live_server.port,
+                             tenant="../escape")
+    with pytest.raises(ServeError) as excinfo:
+        bad_tenant.submit(S27_BENCH)
+    assert excinfo.value.status == 400
+    with pytest.raises(ServeError) as excinfo:
+        client.submit(S27_BENCH, config={"nope": 1})
+    assert excinfo.value.status == 400
+
+
+def test_healthz_and_stats_expose_pool_occupancy(live_server):
+    client = ServeClient("127.0.0.1", live_server.port)
+    health = client.health()
+    assert health["status"] == "ok"
+    assert set(health["pool"]) == {"workers", "busy", "pending"}
+    job = client.submit(S27_BENCH, config={"seed": 13})
+    client.wait(job["job_id"])
+    stats = client.stats()
+    gauges = stats["metrics"]["gauges"]
+    assert "parallel.pool.workers" in gauges
+    assert stats["pool"]["workers"] >= 1
+    assert stats["jobs"].get("done", 0) >= 1
+
+
+def test_back_pressure_returns_429(tmp_path):
+    # No dispatchers running: admitted jobs stay queued, so the bounded
+    # per-tenant queue fills deterministically.
+    server = ReproServer(ServerConfig(
+        port=0, workers=1, queue_depth=2,
+        state_dir=str(tmp_path / "state")))
+    with obs.session() as telemetry:
+        for seed in (1, 2):
+            status, _body = server.submit(submission({"seed": seed}),
+                                          DEFAULT_TENANT)
+            assert status == 202
+        status, body = server.submit(submission({"seed": 3}),
+                                     DEFAULT_TENANT)
+        assert status == 429
+        assert "full" in body["error"]
+        # Back-pressure is per tenant: another tenant still gets in.
+        status, _body = server.submit(submission({"seed": 3}), "team-b")
+        assert status == 202
+        counters = telemetry.metrics.snapshot()["counters"]
+    assert counters.get("serve.rejected", 0) == 1
+    assert counters.get("serve.queued", 0) == 3
+
+
+def test_duplicate_submission_is_deduped_not_queued(tmp_path):
+    server = ReproServer(ServerConfig(
+        port=0, workers=1, queue_depth=1,
+        state_dir=str(tmp_path / "state")))
+    with obs.session():
+        status1, body1 = server.submit(submission({"seed": 1}),
+                                       DEFAULT_TENANT)
+        # Queue is full (depth 1) — but an identical submission dedupes
+        # instead of bouncing off the full queue.
+        status2, body2 = server.submit(
+            submission({"seed": 1, "jobs": 8}), "team-b")
+    assert status1 == 202
+    assert status2 == 200 and body2["source"] == "dedup"
+    assert body2["job_id"] == body1["job_id"]
+
+
+# -- graceful shutdown (satellite) -------------------------------------------
+
+
+def test_sigterm_drains_running_job_cleanly(tmp_path):
+    from repro.experiments import suite
+
+    state = tmp_path / "state"
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(Path(__file__).resolve().parents[1] / "src") \
+        + os.pathsep + env.get("PYTHONPATH", "")
+    env["PYTHONUNBUFFERED"] = "1"
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", "serve", "--port", "0",
+         "--workers", "1", "--state", str(state)],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+        text=True, env=env, cwd=str(tmp_path))
+    try:
+        line = proc.stdout.readline()
+        assert "listening on" in line, line
+        port = int(line.rsplit(":", 1)[1])
+        client = ServeClient("127.0.0.1", port, timeout=10)
+        slow = write_bench(suite.build_circuit("s298"))
+        job = client.submit(slow, config={"seed": 1})
+        assert job["source"] == "new"
+        # Give the dispatcher a moment to start the job, then kill the
+        # daemon mid-run.
+        deadline = time.monotonic() + 10
+        while client.job(job["job_id"])["status"] == "queued":
+            assert time.monotonic() < deadline
+            time.sleep(0.05)
+        proc.send_signal(signal.SIGTERM)
+        proc.wait(timeout=60)
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait(timeout=10)
+    assert proc.returncode == 0
+    tail = proc.stdout.read()
+    assert "repro-serve stopped" in line + tail
+
+    # The drained job finished: its result is on disk and its journal
+    # is complete and parseable.
+    job_dir = state / "jobs" / job["job_id"]
+    outcome = json.loads((job_dir / "result.json").read_text())
+    assert outcome["status"] == "done"
+    events = read_journal(job_dir / "journal.jsonl")
+    assert events[-1]["type"] == "journal.close"
+
+    # No orphan worker processes: nothing on the system still carries
+    # this test's unique state-dir path in its command line.
+    marker = str(state)
+    orphans = []
+    for pid_dir in Path("/proc").iterdir():
+        if not pid_dir.name.isdigit() or int(pid_dir.name) == os.getpid():
+            continue
+        try:
+            cmdline = (pid_dir / "cmdline").read_bytes()
+        except OSError:
+            continue
+        if marker.encode() in cmdline:
+            orphans.append(pid_dir.name)
+    assert not orphans, f"orphan processes: {orphans}"
