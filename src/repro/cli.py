@@ -600,6 +600,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         wall_budget=args.wall_budget,
         cycle_budget=args.cycle_budget,
         drain_timeout=args.drain_timeout,
+        max_records=args.max_records,
+        max_body_bytes=args.max_body,
     ))
     return 0
 
@@ -929,6 +931,13 @@ def build_parser() -> argparse.ArgumentParser:
     srv.add_argument("--drain-timeout", type=float, default=30.0,
                      metavar="SECONDS",
                      help="shutdown grace for running jobs (default 30)")
+    srv.add_argument("--max-records", type=int, default=1024, metavar="N",
+                     help="terminal job records kept in memory before "
+                          "the oldest are evicted (default 1024)")
+    srv.add_argument("--max-body", type=int, default=16 * 1024 * 1024,
+                     metavar="BYTES",
+                     help="request-body size limit, 413 above it "
+                          "(default 16 MiB)")
     srv.set_defaults(func=_cmd_serve)
 
     info = sub.add_parser("info", parents=[telemetry],

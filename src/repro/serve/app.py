@@ -82,6 +82,8 @@ class ServerConfig:
     wall_budget: Optional[float] = None   # per-job wall seconds
     cycle_budget: Optional[int] = None    # per-job faultsim cycles
     drain_timeout: float = 30.0           # shutdown grace for running jobs
+    max_records: int = 1024               # retained terminal job records
+    max_body_bytes: int = 16 * 1024 * 1024  # request-body cap (413 above)
 
     def effective_cache(self) -> Path:
         return Path(self.cache_dir) if self.cache_dir \
@@ -109,6 +111,9 @@ class JobRecord:
     created: float = field(default_factory=time.time)
     finished_at: Optional[float] = None
     error: Optional[str] = None
+    #: In-memory result for pure cache replays, which provision no job
+    #: directory (the tenant store already holds the durable copy).
+    cached_result: Optional[Dict] = None
 
     def public(self) -> Dict:
         view = {
@@ -134,10 +139,14 @@ def _serial_run_job(payload: Dict) -> Dict:
     ``run_job`` unconditionally drops the active telemetry session
     (correct in a fork-started worker, destructive in the server
     process) — so the serial path saves and restores the daemon's
-    session around it."""
+    session around it.  It also marks the payload ``in_process`` so the
+    budget monitor records breaches instead of delivering SIGINT: here
+    that signal would land on the *daemon* (whose main thread is the
+    event loop, not the job), shutting down the whole server without
+    interrupting the job at all."""
     previous = obs.active()
     try:
-        return run_job(payload)
+        return run_job({**payload, "in_process": True})
     finally:
         obs.deactivate(previous)
 
@@ -191,16 +200,16 @@ class ReproServer:
         cached = tenant_store(self.cache_base, tenant).get(
             SERVE_STAGE, circuit_fp, config_fp)
         if cached is not None and isinstance(cached.get("result"), dict):
+            # A pure replay: no job directory (the tenant store is the
+            # durable copy — provisioning one per hit would grow disk
+            # with every repeat request), result kept on the record
+            # until it ages out of the bounded registry.
             record = self._register(key, circuit_fp, config_fp, flow,
                                     tenant, source="cache", status="done",
                                     in_flight=False)
-            outcome = {"job_id": record.job_id, "status": "done",
-                       "source": "cache", "result": cached["result"]}
-            self.job_store.create(record.job_id, canonical_submission(
-                circuit, cfg, flow))
-            self.job_store.write_result(record.job_id, outcome)
             with self._lock:
                 record.finished_at = time.time()
+                record.cached_result = cached["result"]
             obs.incr("serve.cache_hits")
             obs.event("serve.cache_hit", job=record.job_id, tenant=tenant)
             return 200, {**record.public(), "result": cached["result"]}
@@ -241,7 +250,24 @@ class ReproServer:
             self._jobs[job_id] = record
             if in_flight:
                 self._by_key[key] = job_id
+            self._evict_terminal_locked()
             return record
+
+    def _evict_terminal_locked(self) -> None:
+        """Drop the oldest *terminal* records once the registry exceeds
+        ``max_records`` — a long-running daemon must not retain one
+        JobRecord per request forever.  Executed jobs stay readable from
+        their on-disk job directory after eviction; queued/running jobs
+        are never evicted.  Caller holds the lock."""
+        excess = len(self._jobs) - max(1, self.config.max_records)
+        if excess <= 0:
+            return
+        evictable = [job_id for job_id, record in self._jobs.items()
+                     if record.status in TERMINAL_STATES]
+        for job_id in evictable[:excess]:
+            del self._jobs[job_id]
+        if evictable:
+            obs.incr("serve.evicted", min(excess, len(evictable)))
 
     # ------------------------------------------------------------------
     # dispatch plane (threads)
@@ -302,21 +328,33 @@ class ReproServer:
         status = outcome.get("status", "failed")
         outcome.setdefault("source", record.source)
         self.job_store.write_result(record.job_id, outcome)
-        with self._lock:
-            record.status = status
-            record.finished_at = time.time()
-            record.error = outcome.get("error")
-            if self._by_key.get(record.key) == record.job_id:
-                del self._by_key[record.key]
-            tenants = sorted(record.tenants)
-        if status == "done" and isinstance(outcome.get("result"), dict):
-            for tenant in tenants:
+        done = status == "done" and isinstance(outcome.get("result"), dict)
+        # Tenant-store puts happen *while the key is still in the
+        # in-flight index*, and the key is only removed once every
+        # attached tenant has its entry — otherwise an identical
+        # submission landing between key removal and the puts would
+        # miss both the in-flight index and the cache and re-execute.
+        # New tenants can attach during a put round (they join under
+        # the lock while the key is present), so loop until none are
+        # pending, then drop the key under the same lock that admits
+        # attachers.
+        stored: Set[str] = set()
+        while True:
+            with self._lock:
+                pending = sorted(record.tenants - stored) if done else []
+                if not pending:
+                    record.status = status
+                    record.finished_at = time.time()
+                    record.error = outcome.get("error")
+                    if self._by_key.get(record.key) == record.job_id:
+                        del self._by_key[record.key]
+                    break
+            for tenant in pending:
                 tenant_store(self.cache_base, tenant).put(
                     SERVE_STAGE, record.circuit_fp, record.config_fp,
                     {"result": outcome["result"]})
-            obs.incr("serve.completed")
-        else:
-            obs.incr("serve.failed")
+            stored.update(pending)
+        obs.incr("serve.completed" if done else "serve.failed")
         obs.event("serve.finished", job=record.job_id, status=status)
 
     # ------------------------------------------------------------------
@@ -401,6 +439,15 @@ class ReproServer:
             method, path, headers = await self._read_request(reader)
             body = b""
             length = int(headers.get("content-length", "0") or "0")
+            if length < 0:
+                raise ValueError("negative content-length")
+            if length > self.config.max_body_bytes:
+                # Refuse before buffering: Content-Length is attacker
+                # controlled and readexactly() would allocate it all.
+                await self._respond(writer, 413, {
+                    "error": f"body too large ({length} bytes; "
+                             f"limit {self.config.max_body_bytes})"})
+                return
             if length:
                 body = await asyncio.wait_for(
                     reader.readexactly(length), timeout=30)
@@ -415,20 +462,27 @@ class ReproServer:
             except (ConnectionError, OSError):
                 pass
 
-    @staticmethod
-    async def _read_request(reader: asyncio.StreamReader):
+    #: Header-section bound: readline() already caps line length at the
+    #: stream's 64 KiB limit (raising ValueError on overrun); this caps
+    #: how many such lines one request may send.
+    MAX_HEADER_LINES = 128
+
+    @classmethod
+    async def _read_request(cls, reader: asyncio.StreamReader):
         request_line = await asyncio.wait_for(reader.readline(), timeout=30)
         parts = request_line.decode("latin-1").split()
         if len(parts) < 2:
             raise ValueError("malformed request line")
         method, path = parts[0].upper(), parts[1]
         headers: Dict[str, str] = {}
-        while True:
+        for _ in range(cls.MAX_HEADER_LINES):
             line = await asyncio.wait_for(reader.readline(), timeout=30)
             if line in (b"\r\n", b"\n", b""):
                 break
             name, _, value = line.decode("latin-1").partition(":")
             headers[name.strip().lower()] = value.strip()
+        else:
+            raise ValueError("too many header lines")
         return method, path, headers
 
     async def _route(self, method: str, path: str, headers: Dict[str, str],
@@ -472,11 +526,21 @@ class ReproServer:
         with self._lock:
             record = self._jobs.get(job_id)
             view = record.public() if record else None
+            cached_result = record.cached_result if record else None
         if view is None:
-            await self._respond(writer, 404,
-                                {"error": f"no such job {job_id!r}"})
-            return
+            # Evicted from the bounded registry — the job directory
+            # remains the durable record for executed jobs.
+            outcome = self.job_store.read_result(job_id)
+            if outcome is None:
+                await self._respond(writer, 404,
+                                    {"error": f"no such job {job_id!r}"})
+                return
+            view = {"job_id": job_id,
+                    "status": outcome.get("status", "unknown"),
+                    "source": outcome.get("source", "new")}
         if view["status"] in TERMINAL_STATES:
+            if cached_result is not None:
+                view["result"] = cached_result
             outcome = self.job_store.read_result(job_id)
             if outcome:
                 for field_name in ("result", "metrics", "budget",
@@ -491,7 +555,7 @@ class ReproServer:
 
         with self._lock:
             known = job_id in self._jobs
-        if not known:
+        if not known and not self.job_store.journal_path(job_id).exists():
             await self._respond(writer, 404,
                                 {"error": f"no such job {job_id!r}"})
             return
@@ -514,14 +578,18 @@ class ReproServer:
                 await writer.drain()
             with self._lock:
                 record = self._jobs.get(job_id)
-                terminal = record is not None and \
+                # Only terminal records are ever evicted, so a missing
+                # record means the job finished long ago.
+                terminal = record is None or \
                     record.status in TERMINAL_STATES
+                replay = record is not None and record.source == "cache"
             if terminal:
                 # Give the worker journal a moment to write its close,
-                # then finish regardless.
+                # then finish regardless.  Cache replays have no journal
+                # at all — end immediately.
                 now = time.monotonic()
                 if grace_until is None:
-                    grace_until = now + 2.0
+                    grace_until = now if replay else now + 2.0
                 if stream.finished or now >= grace_until:
                     break
             idle += 0.1
@@ -531,8 +599,12 @@ class ReproServer:
                 idle = 0.0
             await asyncio.sleep(0.1)
         outcome = self.job_store.read_result(job_id) or {}
-        status = record.status if record else "unknown"
-        for chunk in stream.end_frame(status, outcome.get("result")):
+        status = record.status if record else \
+            outcome.get("status", "unknown")
+        result = outcome.get("result")
+        if result is None and record is not None:
+            result = record.cached_result
+        for chunk in stream.end_frame(status, result):
             writer.write(chunk)
         await writer.drain()
 
@@ -578,8 +650,8 @@ class ReproServer:
     async def _respond(writer: asyncio.StreamWriter, status: int,
                        payload: Dict) -> None:
         reasons = {200: "OK", 202: "Accepted", 400: "Bad Request",
-                   404: "Not Found", 429: "Too Many Requests",
-                   503: "Service Unavailable"}
+                   404: "Not Found", 413: "Payload Too Large",
+                   429: "Too Many Requests", 503: "Service Unavailable"}
         blob = json.dumps(payload, separators=(",", ":"),
                           sort_keys=True).encode("utf-8")
         head = (f"HTTP/1.1 {status} {reasons.get(status, 'OK')}\r\n"

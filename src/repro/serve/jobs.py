@@ -22,11 +22,17 @@ pool.  It drops the fork-inherited telemetry session, opens its own
 (journaling to the job's ``journal.jsonl`` so ``GET /jobs/<id>/events``
 can stream it), arms the cycle/wall budget monitor, runs the flow, and
 returns a status dict — **catching every exception itself** so a failed
-job is a result, not a pool retry storm.  Budget enforcement: a daemon
-thread samples the session's ``faultsim.cycles`` counter and the wall
-clock; on breach it delivers ``SIGINT`` to its own (worker) process,
-which surfaces as ``KeyboardInterrupt`` in the flow and is reported as
-``status: "budget_exceeded"`` with a parseable journal left behind.
+job is a result, not a pool retry storm.  Budget enforcement: after
+restoring default signal state (fork-started workers inherit the
+daemon's asyncio SIGINT plumbing — see :func:`_reset_worker_signals`),
+a daemon thread samples the session's ``faultsim.cycles`` counter and
+the wall clock; on breach it delivers ``SIGINT`` to its own (worker)
+process, which surfaces as ``KeyboardInterrupt`` in the flow and is
+reported as ``status: "budget_exceeded"`` with a parseable journal
+left behind.  When the job runs *in the daemon process* instead (the
+pool's serial fallback marks this with ``payload["in_process"]``),
+SIGINT would kill the server, so the breach is recorded but not
+enforced.
 """
 
 from __future__ import annotations
@@ -170,37 +176,87 @@ class _BudgetMonitor(threading.Thread):
     """Daemon thread enforcing the job's cycle/wall budgets.
 
     Samples the worker session's ``faultsim.cycles`` counter and the
-    wall clock; on breach, records the reason and delivers SIGINT to
-    this worker process — the one cross-thread interruption mechanism
-    the stdlib offers that lands mid-simulation."""
+    wall clock; on breach, records the reason and — when ``enforce`` is
+    set — delivers SIGINT to this worker process, the one cross-thread
+    interruption mechanism the stdlib offers that lands mid-simulation.
+
+    ``enforce=False`` is the in-process mode (:func:`run_job` running
+    inside the daemon via the pool's serial fallback, or in a non-main
+    thread): SIGINT would hit the *server*, not the job, so the breach
+    is only recorded and journaled — the flow runs to completion and
+    the outcome carries an ``enforced: false`` budget note."""
 
     def __init__(self, telemetry, wall_budget: Optional[float],
-                 cycle_budget: Optional[int], poll: float = 0.05):
+                 cycle_budget: Optional[int], poll: float = 0.05,
+                 enforce: bool = True):
         super().__init__(name="repro-serve-budget", daemon=True)
         self.telemetry = telemetry
         self.wall_budget = wall_budget
         self.cycle_budget = cycle_budget
         self.poll = poll
+        self.enforce = enforce
         self.breached: Optional[str] = None
-        self._stop = threading.Event()
+        self._cancelled = threading.Event()
         self._t0 = time.monotonic()
 
     def cancel(self) -> None:
-        self._stop.set()
+        self._cancelled.set()
+
+    def _evaluate(self) -> None:
+        if self.wall_budget is not None and \
+                time.monotonic() - self._t0 > self.wall_budget:
+            self.breached = "wall"
+        elif self.cycle_budget is not None:
+            cycles = self.telemetry.metrics.snapshot()["counters"] \
+                .get("faultsim.cycles", 0)
+            if cycles > self.cycle_budget:
+                self.breached = "cycles"
 
     def run(self) -> None:
-        while not self._stop.wait(self.poll):
-            if self.wall_budget is not None and \
-                    time.monotonic() - self._t0 > self.wall_budget:
-                self.breached = "wall"
-            elif self.cycle_budget is not None:
-                cycles = self.telemetry.metrics.snapshot()["counters"] \
-                    .get("faultsim.cycles", 0)
-                if cycles > self.cycle_budget:
-                    self.breached = "cycles"
+        while not self._cancelled.wait(self.poll):
+            self._evaluate()
             if self.breached:
-                os.kill(os.getpid(), signal.SIGINT)
+                if self.enforce:
+                    os.kill(os.getpid(), signal.SIGINT)
+                else:
+                    self.telemetry.incr("serve.budget_unenforced")
+                    self.telemetry.event("serve.budget_breach",
+                                         breached=self.breached,
+                                         enforced=False)
                 return
+        if not self.enforce:
+            # Record-only mode gets a final evaluation at cancel time
+            # so a flow that finished between polls but still overran
+            # its budget is reported (never killed — it's done).
+            self._evaluate()
+            if self.breached:
+                self.telemetry.incr("serve.budget_unenforced")
+                self.telemetry.event("serve.budget_breach",
+                                     breached=self.breached,
+                                     enforced=False)
+
+
+def _reset_worker_signals() -> bool:
+    """Restore default signal state in a pool worker.
+
+    Fork-started workers (the Linux default) inherit the daemon's
+    asyncio signal plumbing: a no-op Python-level SIGINT/SIGTERM handler
+    plus the event loop's wakeup fd.  Left in place, the budget
+    monitor's ``os.kill(getpid(), SIGINT)`` would (a) never raise
+    KeyboardInterrupt in the worker and (b) write into the *shared*
+    wakeup fd, which the parent loop dispatches as its own SIGINT —
+    draining the whole multi-tenant server.  Returns True when SIGINT
+    can now interrupt this thread (main thread of the worker), False
+    otherwise (enforcement must stay off)."""
+    try:
+        signal.signal(signal.SIGINT, signal.default_int_handler)
+        signal.signal(signal.SIGTERM, signal.SIG_DFL)
+        signal.set_wakeup_fd(-1)
+    except (ValueError, OSError):
+        # Not the main thread: signal state can't be touched from here,
+        # and KeyboardInterrupt could never be raised here anyway.
+        return False
+    return True
 
 
 def _stats_dict(stats) -> Dict:
@@ -248,11 +304,22 @@ def run_job(payload: Dict) -> Dict:
     """Execute one job (pool task).  Never raises: every outcome —
     success, flow error, budget breach — is a status dict, so the pool's
     retry/serial-fallback machinery only ever engages on genuine worker
-    crashes."""
+    crashes.
+
+    ``payload["in_process"]`` marks the pool's serial-fallback path:
+    :func:`run_job` then runs *inside the daemon process* (on a
+    dispatcher thread), so signal state is left alone and the budget
+    monitor records breaches without delivering SIGINT — killing the
+    server to stop one job is not enforcement."""
     start = time.perf_counter()
+    in_process = bool(payload.get("in_process"))
     # Fork-started workers inherit the server's active session (and its
     # journal handle); drop it — this job reports via its own journal.
+    # They also inherit the server's asyncio signal handlers + wakeup
+    # fd, which must be reset before SIGINT-based budget enforcement
+    # can be armed (see _reset_worker_signals).
     obs.deactivate(None)
+    enforce = _reset_worker_signals() if not in_process else False
     journal = payload.get("journal")
     monitor: Optional[_BudgetMonitor] = None
     outcome: Dict = {"job_id": payload.get("job_id", ""), "pid": os.getpid()}
@@ -270,7 +337,8 @@ def run_job(payload: Dict) -> Dict:
             monitor = _BudgetMonitor(
                 telemetry,
                 wall_budget=payload.get("wall_budget"),
-                cycle_budget=payload.get("cycle_budget"))
+                cycle_budget=payload.get("cycle_budget"),
+                enforce=enforce)
             monitor.start()
             try:
                 if flow == "generation":
@@ -281,9 +349,16 @@ def run_job(payload: Dict) -> Dict:
                     result = translation_flow(circuit, cfg)
             finally:
                 monitor.cancel()
+                monitor.join(timeout=1.0)
             outcome["result"] = _result_payload(flow, result)
             outcome["metrics"] = telemetry.metrics.snapshot()["counters"]
             outcome["status"] = "done"
+            if monitor.breached and not monitor.enforce:
+                # The job overran its budget but ran unenforced (serial
+                # in-process fallback): surface the breach on the
+                # otherwise-complete result.
+                outcome["budget"] = {"breached": monitor.breached,
+                                     "enforced": False}
     except KeyboardInterrupt:
         reason = monitor.breached if monitor is not None else None
         outcome["status"] = "budget_exceeded"

@@ -272,6 +272,33 @@ def test_run_job_wall_budget_interrupts(tmp_path):
     assert (tmp_path / "j.jsonl").exists()
 
 
+def test_in_process_budget_breach_is_recorded_not_signalled(tmp_path):
+    """The serial fallback runs run_job inside the daemon process —
+    a budget breach there must never deliver SIGINT (it would hit the
+    server, not the job): the flow completes and the outcome carries an
+    unenforced-budget note."""
+    from repro.serve.app import _serial_run_job
+
+    sigints = []
+    recorder = lambda *a: sigints.append(a)  # noqa: E731
+    previous = signal.signal(signal.SIGINT, recorder)
+    try:
+        outcome = _serial_run_job({
+            "job_id": "serial",
+            "submission": submission({"seed": 1}),
+            "journal": str(tmp_path / "j.jsonl"),
+            "wall_budget": 0.0001,   # breaches on the first poll
+        })
+        handler_after = signal.getsignal(signal.SIGINT)
+    finally:
+        signal.signal(signal.SIGINT, previous)
+    assert not sigints, "in-process budget monitor raised SIGINT"
+    assert outcome["status"] == "done"
+    assert outcome["budget"] == {"breached": "wall", "enforced": False}
+    # In-process runs must leave the caller's signal disposition alone.
+    assert handler_after is recorder
+
+
 # -- live daemon --------------------------------------------------------------
 
 
@@ -500,3 +527,182 @@ def test_sigterm_drains_running_job_cleanly(tmp_path):
         if marker.encode() in cmdline:
             orphans.append(pid_dir.name)
     assert not orphans, f"orphan processes: {orphans}"
+
+
+# -- budget enforcement against a main-thread daemon --------------------------
+
+
+def test_budget_enforced_in_worker_daemon_survives(tmp_path):
+    """E2E regression for SIGINT-based budget enforcement under fork:
+    the daemon runs in its subprocess's *main thread* (so asyncio
+    installs its SIGINT handler + wakeup fd, which fork-started workers
+    inherit).  A budget breach must interrupt the *job* — not leak the
+    signal into the parent loop and drain the whole server."""
+    from repro.experiments import suite
+
+    state = tmp_path / "state"
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(Path(__file__).resolve().parents[1] / "src") \
+        + os.pathsep + env.get("PYTHONPATH", "")
+    env["PYTHONUNBUFFERED"] = "1"
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", "serve", "--port", "0",
+         "--workers", "1", "--state", str(state),
+         "--wall-budget", "0.5"],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+        text=True, env=env, cwd=str(tmp_path))
+    try:
+        line = proc.stdout.readline()
+        assert "listening on" in line, line
+        port = int(line.rsplit(":", 1)[1])
+        client = ServeClient("127.0.0.1", port, timeout=10)
+        slow = write_bench(suite.build_circuit("s298"))
+        job = client.submit(slow, config={"seed": 1})
+        final = client.wait(job["job_id"], timeout=120)
+        assert final["status"] == "budget_exceeded", final
+        assert final["budget"]["breached"] == "wall", final
+        # The daemon survived its own budget enforcement: it still
+        # serves, and a cheap job still completes on the same worker.
+        assert client.health()["status"] == "ok"
+        quick = client.submit(S27_BENCH, config={"seed": 2})
+        assert client.wait(quick["job_id"], timeout=120)["status"] == "done"
+        proc.send_signal(signal.SIGTERM)
+        proc.wait(timeout=60)
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait(timeout=10)
+    assert proc.returncode == 0
+    # The interrupted job left a parseable journal behind.
+    events = read_journal(state / "jobs" / job["job_id"] / "journal.jsonl")
+    assert events[-1]["type"] == "journal.close"
+
+
+# -- registry bounds and request limits ---------------------------------------
+
+
+@pytest.fixture
+def bounded_server(tmp_path):
+    server = ReproServer(ServerConfig(
+        port=0, workers=1, state_dir=str(tmp_path / "state"),
+        max_records=4, drain_timeout=15.0))
+    started = threading.Event()
+
+    def run():
+        started.set()
+        asyncio.run(server.run())
+
+    with obs.session():
+        thread = threading.Thread(target=run, daemon=True)
+        thread.start()
+        deadline = time.monotonic() + 10
+        while server.port == server.config.port:
+            assert time.monotonic() < deadline, "server never bound"
+            time.sleep(0.02)
+        try:
+            yield server
+        finally:
+            server.request_shutdown()
+            thread.join(timeout=30)
+            assert not thread.is_alive()
+
+
+def test_cache_replays_do_not_grow_disk_or_registry(bounded_server):
+    client = ServeClient("127.0.0.1", bounded_server.port)
+    first = client.submit(S27_BENCH, config={"seed": 21})
+    assert first["source"] == "new"
+    done = client.wait(first["job_id"])
+
+    for _ in range(10):
+        warm = client.submit(S27_BENCH, config={"seed": 21})
+        assert warm["source"] == "cache"
+        assert warm["result"] == done["result"]
+        # Replay records stay queryable until evicted.
+        assert client.job(warm["job_id"])["status"] == "done"
+
+    # One job directory on disk — replays provision nothing.
+    jobs_dir = Path(bounded_server.config.state_dir) / "jobs"
+    assert len(list(jobs_dir.iterdir())) == 1
+    # The registry is bounded: terminal records aged out.
+    with bounded_server._lock:
+        assert len(bounded_server._jobs) <= 4
+    # The executed job's record may itself have been evicted, but its
+    # job directory keeps it readable.
+    view = client.job(first["job_id"])
+    assert view["status"] == "done"
+    assert view["result"] == done["result"]
+
+
+def test_oversized_content_length_is_rejected_before_buffering(
+        bounded_server):
+    import http.client
+
+    conn = http.client.HTTPConnection(
+        "127.0.0.1", bounded_server.port, timeout=10)
+    try:
+        conn.putrequest("POST", "/jobs")
+        conn.putheader("Content-Type", "application/json")
+        conn.putheader("Content-Length", str(10 ** 9))
+        conn.endheaders()
+        response = conn.getresponse()
+        body = json.loads(response.read().decode("utf-8"))
+    finally:
+        conn.close()
+    assert response.status == 413
+    assert "body too large" in body["error"]
+
+
+def test_header_bomb_closes_connection(bounded_server):
+    import socket
+
+    with socket.create_connection(
+            ("127.0.0.1", bounded_server.port), timeout=10) as sock:
+        chunks = b""
+        try:
+            sock.sendall(b"GET /healthz HTTP/1.1\r\n")
+            for i in range(300):
+                sock.sendall(f"x-pad-{i}: y\r\n".encode())
+            sock.sendall(b"\r\n")
+            # The server abandons the request without a response.
+            while True:
+                chunk = sock.recv(4096)
+                if not chunk:
+                    break
+                chunks += chunk
+        except (BrokenPipeError, ConnectionResetError):
+            pass  # the server already slammed the door — same outcome
+    assert chunks == b""
+
+
+def test_finish_publishes_to_tenants_attached_during_put(
+        tmp_path, monkeypatch):
+    """Closing the dedup window: the in-flight key must stay in the
+    index until every attached tenant's store holds the result — a
+    tenant attaching mid-put still gets its cache entry."""
+    from repro.serve import app as serve_app
+
+    server = ReproServer(ServerConfig(
+        port=0, workers=1, state_dir=str(tmp_path / "state")))
+    with obs.session():
+        status, body = server.submit(submission({"seed": 1}), "team-a")
+        assert status == 202
+        record = server._jobs[body["job_id"]]
+        real_tenant_store = serve_app.tenant_store
+
+        def attaching_store(base, tenant):
+            # Simulate a concurrent identical submission joining the
+            # still-in-flight job while the first put round runs.
+            record.tenants.add("team-late")
+            return real_tenant_store(base, tenant)
+
+        monkeypatch.setattr(serve_app, "tenant_store", attaching_store)
+        server._finish(record, {"job_id": record.job_id, "status": "done",
+                                "result": {"ok": 1}})
+        monkeypatch.setattr(serve_app, "tenant_store", real_tenant_store)
+
+        for tenant in ("team-a", "team-late"):
+            assert tenant_store(server.cache_base, tenant).get(
+                SERVE_STAGE, record.circuit_fp, record.config_fp) == \
+                {"result": {"ok": 1}}, tenant
+        assert record.key not in server._by_key
+        assert record.status == "done"
