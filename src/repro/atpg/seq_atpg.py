@@ -68,6 +68,12 @@ class SeqATPGConfig:
     #: instead of being drawn fresh (temporal locality helps sequential
     #: justification).
     mutate_probability: float = 0.5
+    #: Cap on the number of faults given a targeted search (0 = no cap).
+    #: Targets beyond the cap are still fault-simulated and dropped when
+    #: a subsequence for an earlier target detects them; survivors are
+    #: reported aborted.  The corpus-scale presets use this to bound
+    #: wall-clock on 10k-gate circuits deterministically.
+    max_targeted_faults: int = 0
 
 
 @dataclass
@@ -152,6 +158,17 @@ class SequentialATPG:
         self.sim_backend = backend
         self._rng = random.Random(self.config.seed)
         self._num_inputs = circuit.num_inputs
+        # fault -> machine position for the current global simulator;
+        # rebuilt on repack.  Avoids an O(faults) list.index per target.
+        self._position_sim = None
+        self._position_map: Dict[Fault, int] = {}
+
+    def _fault_position(self, sim, fault: Fault) -> int:
+        """Machine index (bit position) of ``fault`` in ``sim``."""
+        if sim is not self._position_sim:
+            self._position_sim = sim
+            self._position_map = {f: i + 1 for i, f in enumerate(sim.faults)}
+        return self._position_map[fault]
 
     def _make_sim(self, faults: Sequence[Fault]):
         """A simulator over ``faults``: the custom factory when one was
@@ -177,6 +194,8 @@ class SequentialATPG:
             self._apply_suffix(sim, preamble, sequence, result)
 
         undetected = [f for f in self.targets if f not in result.detection_time]
+        if config.max_targeted_faults > 0:
+            undetected = undetected[: config.max_targeted_faults]
         for fault in undetected:
             if fault in result.detection_time:
                 continue
@@ -296,7 +315,7 @@ class SequentialATPG:
         """
         config = self.config
         good_state = global_sim.machine_state(0)
-        fault_position = global_sim.faults.index(fault) + 1
+        fault_position = self._fault_position(global_sim, fault)
         fault_state = global_sim.machine_state(fault_position)
         mini = self._make_sim([fault])
 

@@ -2,6 +2,16 @@
 benchmark library and the synthetic circuit generator."""
 
 from .bench import load_bench, parse_bench, save_bench, write_bench
+from .corpus import (
+    CORPUS,
+    CORPUS_PREFIX,
+    CorpusSpec,
+    corpus_names,
+    corpus_seed,
+    is_corpus_spec,
+    load_circuit,
+    synth_like,
+)
 from .gates import GATE_KINDS, ONE, X, ZERO, eval_gate, value_from_char, value_to_char
 from .library import c17, load, s27, toy_comb, toy_pipeline, toy_seq
 from .netlist import Circuit, CircuitError, FlipFlop, Gate
@@ -30,6 +40,14 @@ __all__ = [
     "value_to_char",
     "parse_bench",
     "load_bench",
+    "CORPUS",
+    "CORPUS_PREFIX",
+    "CorpusSpec",
+    "corpus_names",
+    "corpus_seed",
+    "is_corpus_spec",
+    "load_circuit",
+    "synth_like",
     "write_bench",
     "save_bench",
     "load",

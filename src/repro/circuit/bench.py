@@ -12,14 +12,17 @@ distributed in it.  A file is a sequence of lines::
     G14 = NOT(G0)
 
 Gate kinds are case-insensitive; ``BUFF`` is accepted as an alias for
-``BUF``.  The writer emits a canonical form that the reader round-trips.
+``BUF``.  Published distributions wrap long operand lists across lines
+(a statement continues until its ``(...)`` closes) and vary spacing
+(``INPUT (G0)``); the parser accepts both.  The writer emits a canonical
+form that the reader round-trips.
 """
 
 from __future__ import annotations
 
 import re
 from pathlib import Path
-from typing import List, Union
+from typing import Iterator, List, Tuple, Union
 
 from .netlist import Circuit, CircuitError, FlipFlop, Gate
 
@@ -31,21 +34,48 @@ _IO_RE = re.compile(r"^(?P<dir>INPUT|OUTPUT)\s*\((?P<net>[^)]+)\)$", re.IGNORECA
 _KIND_ALIASES = {"BUFF": "BUF", "DFF": "DFF"}
 
 
+def _statements(text: str, name: str) -> Iterator[Tuple[int, str]]:
+    """Yield ``(start_lineno, statement)`` pairs from ``.bench`` source.
+
+    Comments are stripped per physical line; a statement whose operand
+    list has not closed yet (more ``(`` than ``)``, or a trailing ``,``
+    or ``=``) is joined with the following lines, as in the published
+    ISCAS-89/ITC-99 distributions.  ``start_lineno`` is the physical
+    line on which the statement begins, so error messages stay accurate
+    for wrapped statements.
+    """
+    pending = ""
+    start = 0
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        if pending:
+            pending = f"{pending} {line}"
+        else:
+            pending = line
+            start = lineno
+        if pending.count("(") > pending.count(")") or pending.endswith((",", "=")):
+            continue
+        yield start, pending
+        pending = ""
+    if pending:
+        raise CircuitError(f"{name}:{start}: unterminated statement: {pending!r}")
+
+
 def parse_bench(text: str, name: str = "circuit") -> Circuit:
     """Parse ``.bench`` source text into a :class:`Circuit`.
 
-    Raises :class:`CircuitError` on malformed lines or on any structural
-    problem found by circuit validation (multiple drivers, combinational
+    Raises :class:`CircuitError` on malformed statements (with the line
+    number where the statement starts) or on any structural problem
+    found by circuit validation (multiple drivers, combinational
     cycles, ...).
     """
     inputs: List[str] = []
     outputs: List[str] = []
     gates: List[Gate] = []
     flops: List[FlipFlop] = []
-    for lineno, raw in enumerate(text.splitlines(), start=1):
-        line = raw.split("#", 1)[0].strip()
-        if not line:
-            continue
+    for lineno, line in _statements(text, name):
         io_match = _IO_RE.match(line)
         if io_match:
             net = io_match.group("net").strip()
@@ -56,7 +86,7 @@ def parse_bench(text: str, name: str = "circuit") -> Circuit:
             continue
         assign = _ASSIGN_RE.match(line)
         if not assign:
-            raise CircuitError(f"{name}:{lineno}: cannot parse line: {raw!r}")
+            raise CircuitError(f"{name}:{lineno}: cannot parse statement: {line!r}")
         out = assign.group("out").strip()
         kind = assign.group("kind").upper()
         kind = _KIND_ALIASES.get(kind, kind)

@@ -44,19 +44,22 @@ _WEIGHTS = [weight for _k, weight, _a in _KIND_MIX]
 _ARITIES = {kind: arities for kind, _w, arities in _KIND_MIX}
 
 
-def _pick_inputs(rng: random.Random, pool: Sequence[str], arity: int) -> List[str]:
+def _pick_inputs(rng: random.Random, pool: Sequence[str], arity: int,
+                 locality: float = 0.75) -> List[str]:
     """Choose ``arity`` distinct nets, biased toward recent ones.
 
     The bias (squared-uniform index from the end of the pool) produces
     multi-level structure: late gates mostly consume other late gates, so
     logic depth grows with circuit size instead of staying flat.  Early
     nets are still picked occasionally, creating long reconvergent paths.
+    ``locality`` is the probability of a biased (recent) draw; lowering
+    it flattens the depth profile (see :func:`random_circuit`).
     """
     chosen: List[str] = []
     attempts = 0
     while len(chosen) < arity and attempts < 50:
         attempts += 1
-        if rng.random() < 0.25:
+        if rng.random() < 1.0 - locality:
             candidate = pool[rng.randrange(len(pool))]
         else:
             offset = int(rng.random() ** 2 * len(pool))
@@ -80,6 +83,8 @@ def random_circuit(
     num_gates: int,
     seed: int,
     num_outputs: int = 0,
+    *,
+    locality: float = 0.75,
 ) -> Circuit:
     """Generate a random synchronous sequential circuit.
 
@@ -101,6 +106,11 @@ def random_circuit(
         Primary output count.  0 (default) picks ``max(1, num_flops//3)``
         observation points; any net left unread is additionally promoted
         to a primary output so the circuit contains no dead logic.
+    locality:
+        Probability that each gate-input draw is biased toward recent
+        nets (default 0.75, the historical behavior).  Lower values
+        flatten the logic-depth profile; :func:`repro.circuit.corpus`
+        uses this to match per-family depth profiles.
     """
     if num_inputs < 1:
         raise ValueError("need at least one primary input")
@@ -121,7 +131,7 @@ def random_circuit(
             kind = "NOT"
             arity = 1
         out = f"n{index}"
-        gates.append(Gate(out, kind, tuple(_pick_inputs(rng, pool, arity))))
+        gates.append(Gate(out, kind, tuple(_pick_inputs(rng, pool, arity, locality))))
         pool.append(out)
 
     gate_outputs = [g.output for g in gates]
@@ -130,26 +140,44 @@ def random_circuit(
     # deep logic; require distinct drivers across flip-flops when possible.
     flops: List[FlipFlop] = []
     d_candidates = list(gate_outputs)
-    rng.shuffle(d_candidates)
-    d_candidates.sort(key=gate_outputs.index)  # deterministic re-sort
+    rng.shuffle(d_candidates)  # retained solely to preserve the RNG stream
     tail = gate_outputs[len(gate_outputs) // 2 :] or gate_outputs
     used_d: List[str] = []
+    used_set: set = set()
+    # ``remaining`` mirrors ``[n for n in tail if n not in used_d]`` across
+    # iterations without re-filtering the whole tail per flip-flop.
+    remaining = list(tail)
     for q_net in flop_qs:
-        choices = [n for n in tail if n not in used_d] or [
-            n for n in gate_outputs if n not in used_d
-        ] or gate_outputs
-        d_net = choices[rng.randrange(len(choices))]
+        if remaining:
+            choices = remaining
+        else:
+            choices = [n for n in gate_outputs if n not in used_set] or gate_outputs
+        k = rng.randrange(len(choices))
+        d_net = choices[k]
+        if choices is remaining:
+            del remaining[k]
         used_d.append(d_net)
+        used_set.add(d_net)
         flops.append(FlipFlop(q=q_net, d=d_net))
 
     if num_outputs <= 0:
         num_outputs = max(1, num_flops // 3)
-    po_pool = [n for n in gate_outputs if n not in used_d] or gate_outputs
+    po_pool = [n for n in gate_outputs if n not in used_set] or gate_outputs
     outputs: List[str] = []
+    chosen_pos: set = set()
     for _ in range(min(num_outputs, len(po_pool))):
-        candidate = po_pool[rng.randrange(len(po_pool))]
-        if candidate not in outputs:
-            outputs.append(candidate)
+        k = rng.randrange(len(po_pool))
+        candidate = po_pool[k]
+        if candidate in chosen_pos:
+            # Sample without replacement: advance (wrapping) to the next
+            # unused net instead of dropping the draw, so ``num_outputs``
+            # is honored exactly with no extra RNG consumption.
+            for step in range(1, len(po_pool)):
+                candidate = po_pool[(k + step) % len(po_pool)]
+                if candidate not in chosen_pos:
+                    break
+        outputs.append(candidate)
+        chosen_pos.add(candidate)
 
     # Promote dead nets (no reader at all) to primary outputs so every
     # fault is potentially observable.

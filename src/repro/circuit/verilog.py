@@ -50,7 +50,12 @@ _INSTANCE_RE = re.compile(
 
 
 def _strip_comments(text: str) -> str:
-    text = re.sub(r"/\*.*?\*/", " ", text, flags=re.DOTALL)
+    # Preserve line structure so parse errors can report the physical
+    # line a statement starts on.
+    def _keep_newlines(match: "re.Match[str]") -> str:
+        return "\n" * match.group(0).count("\n")
+
+    text = re.sub(r"/\*.*?\*/", _keep_newlines, text, flags=re.DOTALL)
     return re.sub(r"//[^\n]*", " ", text)
 
 
@@ -81,16 +86,23 @@ def parse_verilog(text: str, name: str = None) -> Circuit:
     flops: List[FlipFlop] = []
     counter = 0
 
+    line_base = text.count("\n", 0, body_start) + 1
+    offset = 0
     for raw in body.split(";"):
+        segment_start = offset
+        offset += len(raw) + 1
         statement = " ".join(raw.split())
         if not statement:
             continue
+        leading = len(raw) - len(raw.lstrip())
+        lineno = line_base + body.count("\n", 0, segment_start + leading)
+        where = f"{module_name}:{lineno}"
         decl = _DECL_RE.match(statement)
         if decl:
             kind, names = decl.group(1), _split_names(decl.group(2))
             if any("[" in n for n in names):
                 raise CircuitError(
-                    f"{module_name}: vector declarations are not supported "
+                    f"{where}: vector declarations are not supported "
                     f"({statement!r})"
                 )
             if kind == "input":
@@ -102,7 +114,7 @@ def parse_verilog(text: str, name: str = None) -> Circuit:
         inst = _INSTANCE_RE.match(statement)
         if not inst:
             raise CircuitError(
-                f"{module_name}: unsupported statement {statement!r}"
+                f"{where}: unsupported statement {statement!r}"
             )
         primitive = inst.group(1).lower()
         ports = _split_names(inst.group(3))
@@ -110,13 +122,13 @@ def parse_verilog(text: str, name: str = None) -> Circuit:
         if primitive == "dff":
             if len(ports) != 2:
                 raise CircuitError(
-                    f"{module_name}: dff takes (q, d), got {len(ports)} ports"
+                    f"{where}: dff takes (q, d), got {len(ports)} ports"
                 )
             flops.append(FlipFlop(q=ports[0], d=ports[1]))
         elif primitive in _PRIMITIVES:
             if len(ports) < 2:
                 raise CircuitError(
-                    f"{module_name}: {primitive} needs an output and at "
+                    f"{where}: {primitive} needs an output and at "
                     f"least one input"
                 )
             try:
@@ -126,10 +138,10 @@ def parse_verilog(text: str, name: str = None) -> Circuit:
                     inputs=tuple(ports[1:]),
                 ))
             except ValueError as exc:
-                raise CircuitError(f"{module_name}: {exc}") from exc
+                raise CircuitError(f"{where}: {exc}") from exc
         else:
             raise CircuitError(
-                f"{module_name}: unsupported primitive {primitive!r} "
+                f"{where}: unsupported primitive {primitive!r} "
                 "(assign/always are out of scope; see module docstring)"
             )
 

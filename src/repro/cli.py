@@ -86,8 +86,9 @@ from pathlib import Path
 from typing import Optional
 
 from . import obs
+from .circuit import corpus as corpus_mod
 from .circuit.bench import load_bench
-from .circuit.netlist import Circuit
+from .circuit.netlist import Circuit, CircuitError
 from .core import FlowConfig, generation_flow, translation_flow
 from .experiments import suite as suite_mod
 from .experiments import table5, table6, table7
@@ -143,26 +144,43 @@ def _runs_index_path(args: argparse.Namespace) -> Path:
 
 
 def _flow_config(args: argparse.Namespace, **overrides) -> FlowConfig:
-    """Build the FlowConfig shared by the flow-running subcommands."""
+    """Build the FlowConfig shared by the flow-running subcommands.
+
+    A ``corpus:<name>`` circuit argument additionally applies the
+    corpus-scale presets (reduced ATPG effort, no PODEM redundancy
+    proofs, auto checkpoint policy); an explicit
+    ``--checkpoint-interval`` still wins over the preset.
+    """
+    name = getattr(args, "circuit", None)
+    if isinstance(name, str) and corpus_mod.is_corpus_spec(name):
+        corpus_over = corpus_mod.flow_overrides(name, seed_offset=args.seed)
+    else:
+        corpus_over = {}
+    interval = args.checkpoint_interval
+    if interval is None:
+        interval = corpus_over.pop("checkpoint_interval", 4)
+    else:
+        corpus_over.pop("checkpoint_interval", None)
+    corpus_over.update(overrides)
     return FlowConfig(
         seed=args.seed,
-        checkpoint_interval=args.checkpoint_interval,
+        checkpoint_interval=interval,
         jobs=args.jobs,
         cache_dir=_cache_dir(args),
         sim_backend=getattr(args, "sim_backend", None),
         run_index=_run_index_arg(args),
-        **overrides,
+        **corpus_over,
     )
 
 
 def _resolve_circuit(name: str) -> Circuit:
+    """Resolve a CLI circuit argument: ``corpus:<name>`` spec, netlist
+    path (case-insensitive ``.bench``/``.v`` suffix), or suite name."""
+    if corpus_mod.is_corpus_spec(name):
+        return corpus_mod.load_circuit(name)
     path = Path(name)
-    if path.suffix == ".v":
-        from .circuit.verilog import load_verilog
-
-        return load_verilog(path)
-    if path.suffix == ".bench" or path.exists():
-        return load_bench(path)
+    if path.suffix or path.exists():
+        return corpus_mod.load_circuit(path)
     return suite_mod.build_circuit(name)
 
 
@@ -619,6 +637,10 @@ def _cmd_list(_args: argparse.Namespace) -> int:
         print(f"{spec.name} (synthetic stand-in, {spec.family}, "
               f"inp={spec.paper_inputs} stvr={spec.paper_state_vars} "
               f"faults~{spec.paper_faults}, tier={spec.tier})")
+    for spec in corpus_mod.CORPUS.values():
+        print(f"corpus:{spec.name} (big-circuit stand-in, {spec.family}, "
+              f"pi={spec.num_inputs} po={spec.num_outputs} "
+              f"ff={spec.num_flops} gates={spec.num_gates})")
     return 0
 
 
@@ -641,9 +663,11 @@ def build_parser() -> argparse.ArgumentParser:
     flow_group = flowopts.add_argument_group("flow")
     flow_group.add_argument("--seed", type=int, default=0)
     flow_group.add_argument(
-        "--checkpoint-interval", type=int, default=4, metavar="K",
+        "--checkpoint-interval", type=int, default=None, metavar="K",
         help="cycles between packed-state checkpoints in the "
-             "incremental fault-sim session (default 4)")
+             "incremental fault-sim session (default 4; 0 = auto "
+             "policy scaled to sequence length, the default for "
+             "corpus:<name> circuits)")
     flow_group.add_argument(
         "--jobs", type=int, default=0, metavar="N",
         help="worker processes for fault-sharded parallel simulation "
@@ -976,10 +1000,20 @@ def main(argv: Optional[list] = None) -> int:
         or args.command in ("profile", "serve") or wants_ledger
         or wants_history
     )
+    def dispatch() -> int:
+        try:
+            return args.func(args)
+        except (CircuitError, FileNotFoundError) as exc:
+            # Bad circuit arguments (unsupported extension, malformed
+            # netlist, missing file) are user errors: one line, no
+            # traceback.
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+
     if not wants_telemetry:
-        return args.func(args)
+        return dispatch()
     with obs.session(trace=trace, ledger=wants_ledger) as telemetry:
-        status = args.func(args)
+        status = dispatch()
     if metrics_out:
         meta = {"command": args.command}
         if getattr(args, "circuit", None):

@@ -158,10 +158,56 @@ class CompactionOracle:
                 self.circuit, self.faults, self.jobs,
                 checkpoint_interval=self._checkpoint_interval,
                 sim_backend=self.session.sim_backend,
+                costs=self._warm_costs(),
             )
         if self._parallel.effective_jobs(num_vectors) <= 1:
             return None
         return self._parallel
+
+    def _warm_costs(self):
+        """Per-fault LPT shard costs seeded from the largest cached
+        detection entry for this circuit, or ``None`` (round-robin).
+
+        A fault detected at cycle ``t`` in a previous run costs ``t+1``
+        (a dropping simulator stops paying for it there); undetected
+        faults cost the full horizon.  Any shard plan merges
+        bit-identically, so a stale or partial entry can only cost
+        speed, never bits.  Heuristic and damage-tolerant by design —
+        unreadable entries simply mean no seeding.
+        """
+        stages = self._stage_cache()
+        if stages is None or not stages.enabled:
+            return None
+        from ..cache.codec import decode_fault
+        from ..parallel.plan import costs_from_detection_times
+
+        best = None
+        try:
+            for stage, payload in self._store.entries_for_circuit(
+                    stages.circuit_fp):
+                if stage != "detection":
+                    continue
+                times = payload.get("times") or []
+                if times and (best is None or len(times) > len(best)):
+                    best = times
+        except Exception:
+            return None
+        if not best:
+            return None
+        position = {f: i for i, f in enumerate(self.faults)}
+        times_by_pos = {}
+        try:
+            for item, t in best:
+                fault = decode_fault(item)
+                if fault in position:
+                    times_by_pos[position[fault]] = int(t)
+        except Exception:
+            return None
+        if not times_by_pos:
+            return None
+        horizon = max(times_by_pos.values()) + 2
+        return costs_from_detection_times(
+            times_by_pos, len(self.faults), horizon)
 
     def detected_mask(
         self,

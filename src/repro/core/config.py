@@ -54,7 +54,10 @@ class FlowConfig:
     redundancy_backtrack_limit: int = 20000
     #: Omission sweeps over the sequence (1 = single backward pass).
     max_omission_passes: int = 1
-    #: Cycles between packed-state checkpoints in the fault-sim session.
+    #: Cycles between packed-state checkpoints in the fault-sim session;
+    #: ``0`` selects the automatic policy (interval scales with sequence
+    #: length, memory-bounded via ``REPRO_CHECKPOINT_MB``).  A pure
+    #: speed/memory knob: results are bit-identical at every value.
     checkpoint_interval: int = 4
     #: Resume compaction queries from checkpoints; ``False`` forces the
     #: cycle-0-restart baseline (for perf comparisons).
@@ -93,8 +96,8 @@ class FlowConfig:
     baseline: Optional[Any] = None
 
     def __post_init__(self) -> None:
-        if self.checkpoint_interval < 1:
-            raise ValueError("checkpoint_interval must be >= 1")
+        if self.checkpoint_interval < 0:
+            raise ValueError("checkpoint_interval must be >= 0 (0 = auto)")
         if self.max_omission_passes < 1:
             raise ValueError("max_omission_passes must be >= 1")
         if self.num_chains < 1:

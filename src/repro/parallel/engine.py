@@ -29,6 +29,8 @@ which are merged back after the pool drains.
 from __future__ import annotations
 
 import copy
+import math
+import os
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
@@ -62,6 +64,11 @@ from .worker import (
 
 __doc__ = __doc__.format(
     DEFAULT_MIN_PARALLEL_FAULTS=DEFAULT_MIN_PARALLEL_FAULTS)
+
+#: Per-worker plane-memory budget (MB) for shard planning; unset or 0
+#: means unbounded.  A speed/memory knob only — every shard plan merges
+#: to bit-identical results.
+SHARD_MB_ENV = "REPRO_SHARD_MB"
 
 
 def _split_task(task: ShardTask) -> List[ShardTask]:
@@ -148,7 +155,7 @@ class ParallelFaultSim:
         #: Concrete backend name pinned for this engine's lifetime —
         #: the serial fallback and every pool worker use the same one.
         self.sim_backend = resolve_concrete_backend(
-            sim_backend, len(self.faults))
+            sim_backend, len(self.faults), circuit.num_gates)
         if strategy == "auto":
             strategy = "cost" if costs is not None else "round_robin"
         self.strategy = strategy
@@ -185,11 +192,37 @@ class ParallelFaultSim:
                    max(1, len(self.faults) * 2 // self.min_parallel_faults))
 
     def plan(self, jobs: Optional[int] = None) -> ShardPlan:
-        """The shard plan a parallel run would use."""
+        """The shard plan a parallel run would use.
+
+        The shard count is ``jobs``, raised when the
+        ``REPRO_SHARD_MB`` per-worker plane-memory budget demands
+        thinner shards (extra shards queue over the same workers; any
+        plan merges bit-identically, so the bound is memory-only).
+        """
         return plan_shards(
-            len(self.faults), jobs or self.jobs,
+            len(self.faults), self._shard_count(jobs or self.jobs),
             strategy=self.strategy, costs=self.costs,
         )
+
+    def _shard_count(self, jobs: int) -> int:
+        """``jobs``, raised so each shard's packed planes fit the
+        ``REPRO_SHARD_MB`` budget (unset/0 = unbounded).
+
+        Estimate: two planes (value/care) per net, one bit per fault
+        machine — within a small constant of both the packed-bigint and
+        vector backends at 10k-gate scale."""
+        raw = os.environ.get(SHARD_MB_ENV, "")
+        if not raw:
+            return jobs
+        try:
+            budget = float(raw) * 1_000_000
+        except ValueError:
+            return jobs
+        if budget <= 0:
+            return jobs
+        nets = len(self.circuit.nets())
+        plane_bytes = 2 * nets * ((len(self.faults) + 1 + 7) // 8)
+        return max(jobs, math.ceil(plane_bytes / budget))
 
     # -- the fault-sim API ------------------------------------------------------
 

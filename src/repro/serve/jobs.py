@@ -3,6 +3,7 @@
 A submission is a JSON object::
 
     {"circuit": {"bench": "<.bench text>"}            # or {"netlist": {...}}
+                                                      # or {"corpus": "s15850"}
      "flow": "generation" | "translation",            # default generation
      "config": {"seed": 1, "num_chains": 2, ...}}     # FlowConfig fields
 
@@ -104,18 +105,25 @@ def parse_submission(payload: Any) -> Tuple[Circuit, FlowConfig, str]:
 def _parse_circuit(spec: Any) -> Circuit:
     if not isinstance(spec, dict):
         raise SubmissionError(
-            "submission needs a circuit object "
-            "({\"bench\": ...} or {\"netlist\": ...})")
-    bench = spec.get("bench")
-    netlist = spec.get("netlist")
-    if (bench is None) == (netlist is None):
+            "submission needs a circuit object ({\"bench\": ...}, "
+            "{\"netlist\": ...} or {\"corpus\": \"<name>\"})")
+    forms = [spec.get("bench"), spec.get("netlist"), spec.get("corpus")]
+    if sum(form is not None for form in forms) != 1:
         raise SubmissionError(
-            "circuit must carry exactly one of 'bench' or 'netlist'")
+            "circuit must carry exactly one of 'bench', 'netlist' "
+            "or 'corpus'")
+    bench, netlist, corpus = forms
     try:
         if bench is not None:
             if not isinstance(bench, str):
                 raise SubmissionError("circuit.bench must be a string")
             return parse_bench(bench, name=str(spec.get("name", "circuit")))
+        if corpus is not None:
+            if not isinstance(corpus, str):
+                raise SubmissionError("circuit.corpus must be a string")
+            from ..circuit.corpus import synth_like
+
+            return synth_like(corpus)
         return _circuit_from_netlist(netlist)
     except CircuitError as exc:
         raise SubmissionError(f"bad circuit: {exc}")

@@ -64,6 +64,14 @@ BACKEND_ENV = "REPRO_SIM_BACKEND"
 #: microseconds either way, and kernel setup would dominate.
 AUTO_MIN_FAULTS = 16
 
+#: ...unless the circuit itself is big.  Above this gate count a packed
+#: Python step costs milliseconds even for one fault machine, while the
+#: kernel's levelized program is fingerprint-cached on the circuit
+#: object — every mini sim after the first reuses it, so setup no
+#: longer dominates and ``auto`` switches to ``vector`` regardless of
+#: fault count (measured ~5x per beam-search rollout at s9234 scale).
+AUTO_MIN_GATES = 4096
+
 
 @runtime_checkable
 class SimBackend(Protocol):
@@ -126,16 +134,18 @@ def resolve_backend_name(name: Optional[str] = None) -> str:
     return name
 
 
-def resolve_concrete_backend(name: Optional[str], num_faults: int) -> str:
+def resolve_concrete_backend(name: Optional[str], num_faults: int,
+                             num_gates: int = 0) -> str:
     """The concrete backend ``make_backend`` would build: resolves
-    ``auto`` by availability and fault count.  Callers that must pin a
-    choice for a simulator's lifetime (e.g. :class:`SimSession`, whose
-    repacks must keep one state-token format) resolve once through
-    here and reuse the answer."""
+    ``auto`` by availability, fault count and circuit size.  Callers
+    that must pin a choice for a simulator's lifetime (e.g.
+    :class:`SimSession`, whose repacks must keep one state-token
+    format) resolve once through here and reuse the answer."""
     name = resolve_backend_name(name)
     if name != BACKEND_AUTO:
         return name
-    if num_faults >= AUTO_MIN_FAULTS and vector_available():
+    worthwhile = num_faults >= AUTO_MIN_FAULTS or num_gates >= AUTO_MIN_GATES
+    if worthwhile and vector_available():
         return BACKEND_VECTOR
     return BACKEND_PACKED
 
@@ -163,7 +173,8 @@ def make_backend(circuit: Circuit, faults: Sequence[Fault],
     event (journal) and counter/gauges (metrics registry) per build so
     ``repro-atpg profile``/``watch`` show which kernel served a run.
     """
-    concrete = resolve_concrete_backend(name, len(faults))
+    concrete = resolve_concrete_backend(name, len(faults),
+                                        circuit.num_gates)
     if concrete == BACKEND_VECTOR and not numpy_available():
         raise RuntimeError(
             "sim_backend='vector' requires numpy (not importable here); "

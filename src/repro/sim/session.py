@@ -39,6 +39,8 @@ Correctness invariants:
 
 from __future__ import annotations
 
+import math
+import os
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..circuit.netlist import Circuit
@@ -90,7 +92,14 @@ class SimSession:
     checkpoint_interval:
         Snapshot the packed state every this many cycles (also at the
         end of each query).  Smaller means finer resume granularity but
-        more snapshot overhead.
+        more snapshot overhead.  ``0`` selects an automatic policy:
+        the interval scales with each query's sequence length
+        (``max(4, isqrt(n))``) so snapshot memory grows as ``sqrt(n)``
+        rather than linearly at 10k-gate scale.  Independently, the
+        ``REPRO_CHECKPOINT_MB`` environment variable bounds estimated
+        total snapshot memory by widening the effective interval —
+        a speed/memory knob only; detection results are bit-identical
+        for every interval.
     sim_backend:
         Backend name resolved through
         :func:`~repro.sim.backend.resolve_concrete_backend` —
@@ -121,8 +130,8 @@ class SimSession:
         sim_backend: Optional[str] = None,
         incremental: bool = True,
     ):
-        if checkpoint_interval < 1:
-            raise ValueError("checkpoint_interval must be >= 1")
+        if checkpoint_interval < 0:
+            raise ValueError("checkpoint_interval must be >= 0 (0 = auto)")
         self.circuit = circuit
         self.faults = list(faults)
         self.checkpoint_interval = checkpoint_interval
@@ -133,7 +142,7 @@ class SimSession:
             #: Concrete backend name pinned for the session's lifetime
             #: (None with a custom factory).
             self.sim_backend = resolve_concrete_backend(
-                backend, len(self.faults))
+                backend, len(self.faults), circuit.num_gates)
             self._factory = backend_class(self.sim_backend)
             self._sim = make_backend(circuit, self.faults, self.sim_backend)
         else:
@@ -325,6 +334,41 @@ class SimSession:
             cp for cp in self._checkpoints if cp.cycle <= from_cycle
         ]
 
+    def _token_bytes_estimate(self) -> int:
+        """Rough per-checkpoint memory estimate: one plane per flip-flop,
+        one bit per live machine (both packed bigints and vector planes
+        are within a small constant of this)."""
+        machines = len(self._live_positions) + 1
+        flops = max(1, len(self.circuit.flops))
+        return flops * ((machines + 7) // 8)
+
+    def _effective_interval(self, n: int) -> int:
+        """Checkpoint interval for a query over ``n`` vectors.
+
+        A configured interval >= 1 is used as-is; ``0`` scales with the
+        sequence length so snapshot count (hence memory) grows as
+        ``sqrt(n)``.  ``REPRO_CHECKPOINT_MB``, when set, additionally
+        widens the interval until estimated snapshot memory fits the
+        budget.  Interval choice only affects resume granularity, never
+        detection bits.
+        """
+        if self.checkpoint_interval:
+            interval = self.checkpoint_interval
+        else:
+            interval = max(4, math.isqrt(max(n, 1)))
+        budget_mb = os.environ.get("REPRO_CHECKPOINT_MB", "")
+        if budget_mb:
+            try:
+                budget = float(budget_mb) * 1_000_000
+            except ValueError:
+                budget = 0.0
+            if budget > 0:
+                per_cp = max(1, self._token_bytes_estimate())
+                max_checkpoints = max(2, int(budget // per_cp))
+                if n // interval + 1 > max_checkpoints:
+                    interval = -(-n // max_checkpoints)  # ceil div
+        return max(1, interval)
+
     @staticmethod
     def _normalize(vectors: Iterable[Sequence[int]]) -> List[Tuple[int, ...]]:
         return [
@@ -396,7 +440,7 @@ class SimSession:
             self.checkpoint_misses += 1
             obs.incr("faultsim.session.checkpoint_misses")
 
-        interval = self.checkpoint_interval
+        interval = self._effective_interval(len(vectors))
         incremental = self.incremental
         last_cp_cycle = checkpoints[-1].cycle if checkpoints else 0
         faults = self.faults

@@ -321,6 +321,21 @@ def test_auto_picks_vector_for_large_fault_lists(monkeypatch):
         BACKEND_AUTO, AUTO_MIN_FAULTS) == BACKEND_VECTOR
 
 
+@pytest.mark.skipif(not vector_available(),
+                    reason="vector backend unavailable")
+def test_auto_picks_vector_for_big_circuits(monkeypatch):
+    """Single-fault minis on a big circuit go vector: the packed Python
+    step costs milliseconds at 10k gates while the kernel program is
+    fingerprint-cached on the circuit."""
+    from repro.sim.backend import AUTO_MIN_GATES
+
+    monkeypatch.delenv(BACKEND_ENV, raising=False)
+    assert resolve_concrete_backend(
+        BACKEND_AUTO, 1, AUTO_MIN_GATES) == BACKEND_VECTOR
+    assert resolve_concrete_backend(
+        BACKEND_AUTO, 1, AUTO_MIN_GATES - 1) == BACKEND_PACKED
+
+
 def test_auto_degrades_without_numpy(monkeypatch):
     monkeypatch.setattr(backend_mod, "numpy_available", lambda: False)
     assert resolve_concrete_backend(BACKEND_AUTO, 10_000) == BACKEND_PACKED

@@ -45,8 +45,19 @@ class TestStructure:
 
     def test_explicit_output_count(self):
         c = random_circuit("x", 4, 3, 40, seed=2, num_outputs=5)
-        # At least the requested count (dead-net promotion may add more).
-        assert c.num_outputs >= 1
+        # The first num_outputs entries are the sampled observation
+        # points — exactly as many as requested, all distinct; dead-net
+        # promotion may append more after them.
+        assert len(set(c.outputs[:5])) == 5
+        assert c.num_outputs >= 5
+
+    def test_output_count_honored_across_seeds(self):
+        """The PO loop samples without replacement: every seed yields
+        exactly the requested number of distinct sampled outputs."""
+        for seed in range(20):
+            c = random_circuit("x", 4, 6, 30, seed=seed, num_outputs=12)
+            sampled = c.outputs[:12]
+            assert len(sampled) == len(set(sampled)) == 12
 
     def test_validates_as_circuit(self):
         # Construction runs full Circuit validation; reaching here means
